@@ -1,0 +1,23 @@
+"""Helpers shared by the benchmark files.
+
+The benchmark suite runs on the ``tiny`` synthetic collections by default so
+that ``pytest benchmarks/ --benchmark-only`` finishes in minutes.  Two
+environment variables widen the run:
+
+* ``REPRO_BENCH_SCALE`` — ``tiny`` (default), ``small`` or ``medium``;
+* ``REPRO_BENCH_TIME_LIMIT`` — per-instance budget in seconds (default 2.0).
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def bench_scale() -> str:
+    """Return the collection scale used by the benchmark suite."""
+    return os.environ.get("REPRO_BENCH_SCALE", "tiny")
+
+
+def bench_time_limit() -> float:
+    """Return the per-instance time limit (seconds) used by the benchmark suite."""
+    return float(os.environ.get("REPRO_BENCH_TIME_LIMIT", "2.0"))

@@ -1,0 +1,75 @@
+"""Ablation benchmark: tightness and cost of the upper bounds (Section 3.2.1).
+
+Not a table of the paper, but a study DESIGN.md calls out: how much tighter
+UB1 is than the Eq. (2) coloring bound and UB3 across root instances of the
+benchmark collections, and what each bound costs to evaluate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SearchState
+from repro.core.bounds import (
+    color_candidates,
+    eq2_original_coloring,
+    ub1_improved_coloring,
+    ub3_degree_sequence,
+)
+from repro.datasets import all_collections
+
+from _bench_utils import bench_scale
+
+K = 3
+
+
+def _root_states():
+    states = []
+    for instances in all_collections(scale=bench_scale()).values():
+        for inst in instances:
+            relabeled, _, _ = inst.graph.relabel()
+            adj = [set(relabeled.neighbors(v)) for v in range(relabeled.num_vertices)]
+            states.append(SearchState.initial(adj, K))
+    return states
+
+
+@pytest.fixture(scope="module")
+def root_states():
+    return _root_states()
+
+
+def test_ub1_tightness_study(benchmark, root_states):
+    """Measure how much tighter UB1 is than Eq. (2) and UB3 at the root of every instance."""
+
+    def run():
+        gaps_eq2, gaps_ub3 = [], []
+        for state in root_states:
+            classes = color_candidates(state)
+            ub1 = ub1_improved_coloring(state, classes)
+            eq2 = eq2_original_coloring(state, classes)
+            ub3 = ub3_degree_sequence(state)
+            gaps_eq2.append(eq2 - ub1)
+            gaps_ub3.append(ub3 - ub1)
+        return gaps_eq2, gaps_ub3
+
+    gaps_eq2, gaps_ub3 = benchmark.pedantic(run, rounds=1, iterations=1)
+    # UB1 dominates both competing bounds on every instance ...
+    assert all(gap >= 0 for gap in gaps_eq2)
+    assert all(gap >= 0 for gap in gaps_ub3)
+    # ... and is strictly tighter than the Eq. (2) bound somewhere.
+    assert any(gap > 0 for gap in gaps_eq2)
+    print(
+        f"\nUB1 vs Eq.(2): mean gap {sum(gaps_eq2) / len(gaps_eq2):.2f} vertices; "
+        f"UB1 vs UB3: mean gap {sum(gaps_ub3) / len(gaps_ub3):.2f} vertices over {len(gaps_eq2)} instances"
+    )
+
+
+def test_ub1_evaluation_cost(benchmark, root_states):
+    """Micro-benchmark the per-node cost of evaluating UB1 at the root instances."""
+    state = max(root_states, key=lambda s: s.graph_size)
+
+    def run():
+        return ub1_improved_coloring(state)
+
+    value = benchmark(run)
+    assert value >= 1

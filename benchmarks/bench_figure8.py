@@ -1,0 +1,38 @@
+"""Benchmark regenerating Figure 8: solved instances vs time limit (Facebook collection).
+
+Same sweep as Figure 7 but over the facebook_like collection, whose dense
+community structure is where the coloring-based bound UB1 matters most.
+"""
+
+from __future__ import annotations
+
+from repro.bench import figure8
+
+from _bench_utils import bench_scale, bench_time_limit
+
+ALGORITHMS = ("kDC", "kDC/RR3&4", "kDC/UB1", "kDC-Degen", "KDBB")
+K_VALUES = (1, 3)
+
+
+def _run():
+    max_limit = bench_time_limit()
+    limits = (max_limit / 20, max_limit / 5, max_limit / 2, max_limit)
+    return figure8(
+        scale=bench_scale(),
+        k_values=K_VALUES,
+        time_limits=limits,
+        algorithms=ALGORITHMS,
+    )
+
+
+def test_figure8_reproduction(benchmark):
+    """Regenerate Figure 8 and check solved counts are monotone in the time limit."""
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print("\n" + result.text)
+    max_limit = bench_time_limit()
+    for k in K_VALUES:
+        low = result.data[f"k={k}/limit={max_limit / 20}"]
+        high = result.data[f"k={k}/limit={max_limit}"]
+        for algorithm in ALGORITHMS:
+            assert low[algorithm] <= high[algorithm]
+        assert high["kDC"] >= high["KDBB"] - 1

@@ -1,0 +1,31 @@
+"""Benchmark regenerating Table 7: fraction of not-fully-connected vertices in the solution.
+
+The paper reports the average percentage of vertices of the maximum
+k-defective clique that have at least one missing neighbour inside it, per
+collection and k; the percentage grows with k.
+"""
+
+from __future__ import annotations
+
+from repro.bench import table7
+
+from _bench_utils import bench_scale, bench_time_limit
+
+K_VALUES = (1, 2, 3, 5)
+
+
+def _run():
+    return table7(scale=bench_scale(), k_values=K_VALUES, time_limit=bench_time_limit())
+
+
+def test_table7_reproduction(benchmark):
+    """Regenerate Table 7 and check the percentage grows with k."""
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print("\n" + result.text)
+    for key, agg in result.data.items():
+        assert 0.0 <= agg["avg_pct_not_fully_connected"] <= 100.0, key
+    for collection in ("real_world_like", "facebook_like", "dimacs_snap_like"):
+        low = result.data.get(f"{collection}/k=1")
+        high = result.data.get(f"{collection}/k=5")
+        if low and high and low["count"] and high["count"]:
+            assert high["avg_pct_not_fully_connected"] >= low["avg_pct_not_fully_connected"] - 1e-9

@@ -1,0 +1,91 @@
+"""Predicting missing interactions by completing defective cliques.
+
+The k-defective clique model was originally introduced by Yu et al. (2006) to
+predict missing protein-protein interactions: if a set of proteins is one or
+two edges short of a complete interaction pattern, the missing pairs are good
+candidates for undiscovered interactions.
+
+This example simulates that workflow on a synthetic "interactome": a graph
+with planted complexes from which a few true edges have been removed.  The
+kDC solver finds the largest k-defective cliques, and the non-edges inside
+them are reported as predicted interactions; the script then measures how
+many of the deliberately removed edges were recovered.
+
+Run with::
+
+    python examples/protein_interaction_prediction.py
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Set, Tuple
+
+from repro import Graph, find_maximum_defective_clique
+from repro.core import missing_edges
+from repro.extensions import top_r_diversified_defective_cliques
+
+
+def build_interactome(
+    num_complexes: int = 5,
+    complex_size: int = 9,
+    removed_per_complex: int = 2,
+    noise_edges: int = 120,
+    seed: int = 13,
+) -> Tuple[Graph, Set[frozenset]]:
+    """Build a synthetic interactome and return it with the set of removed true edges."""
+    rng = random.Random(seed)
+    graph = Graph()
+    removed: Set[frozenset] = set()
+    n = num_complexes * complex_size + 60  # extra background proteins
+    graph.add_vertices(range(n))
+
+    for c in range(num_complexes):
+        members = list(range(c * complex_size, (c + 1) * complex_size))
+        for i, u in enumerate(members):
+            for v in members[i + 1:]:
+                graph.add_edge(u, v)
+        # hide a few true interactions
+        pairs = [(u, v) for i, u in enumerate(members) for v in members[i + 1:]]
+        for u, v in rng.sample(pairs, removed_per_complex):
+            graph.remove_edge(u, v)
+            removed.add(frozenset((u, v)))
+
+    # background noise
+    for _ in range(noise_edges):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            graph.add_edge(u, v)
+    return graph, removed
+
+
+def predict_interactions(graph: Graph, k: int, rounds: int) -> List[frozenset]:
+    """Predict missing interactions as the non-edges inside large k-defective cliques."""
+    predictions: List[frozenset] = []
+    for clique in top_r_diversified_defective_cliques(graph, k=k, r=rounds):
+        for u, v in missing_edges(graph, clique):
+            predictions.append(frozenset((u, v)))
+    return predictions
+
+
+def main() -> None:
+    k = 2
+    graph, hidden = build_interactome()
+    print(f"interactome: {graph.num_vertices} proteins, {graph.num_edges} interactions")
+    print(f"hidden true interactions: {len(hidden)}")
+
+    single = find_maximum_defective_clique(graph, k, time_limit=60.0)
+    print(f"\nlargest {k}-defective complex has {single.size} proteins "
+          f"({len(missing_edges(graph, single.clique))} predicted interactions inside it)")
+
+    predictions = predict_interactions(graph, k=k, rounds=5)
+    recovered = [p for p in predictions if p in hidden]
+    precision = len(recovered) / len(predictions) if predictions else 0.0
+    recall = len(recovered) / len(hidden) if hidden else 0.0
+    print(f"\npredicted {len(predictions)} candidate interactions over 5 complexes")
+    print(f"recovered {len(recovered)} of the {len(hidden)} hidden interactions "
+          f"(precision {precision:.2f}, recall {recall:.2f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Run the full evaluation reproduction and print every table and figure.
+
+This is the programmatic equivalent of ``python -m repro experiments <name>``
+for all experiments at once.  At the default ``tiny`` scale the whole run
+takes a few minutes; pass ``--scale small`` for a longer, more faithful run.
+
+Run with::
+
+    python examples/run_experiments.py [--scale tiny|small|medium] [--time-limit SECONDS]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench import EXPERIMENTS, run_experiment
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="tiny", choices=("tiny", "small", "medium"))
+    parser.add_argument("--time-limit", type=float, default=2.0)
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        default=sorted(EXPERIMENTS),
+        help="subset of experiments to run (default: all)",
+    )
+    args = parser.parse_args()
+
+    for name in args.only:
+        kwargs = {"scale": args.scale}
+        if name != "table4":  # table4 has no time limit parameter
+            kwargs["time_limit"] = args.time_limit
+        result = run_experiment(name, **kwargs)
+        print("\n" + "#" * 78)
+        print(f"# {name}: {result.description}")
+        print("#" * 78)
+        print(result.text)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Social-network analysis: dense community detection with k-defective cliques.
+
+The paper motivates k-defective cliques with community detection in social
+networks: real communities are rarely perfect cliques because data is noisy
+and incomplete.  This example builds a Facebook-style synthetic network,
+compares the maximum clique against maximum k-defective cliques for growing
+``k``, and then uses the diversified top-r extension (paper Section 6) to
+extract several non-overlapping communities.
+
+Run with::
+
+    python examples/social_network_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro import find_maximum_defective_clique, maximum_clique_size
+from repro.analysis import fraction_not_fully_connected
+from repro.extensions import coverage, top_r_diversified_defective_cliques
+from repro.graphs import graph_stats, social_network_graph
+
+
+def main() -> None:
+    graph = social_network_graph(
+        n=220, num_communities=6, intra_p=0.5, inter_p=0.01, hub_fraction=0.02, seed=42
+    )
+    stats = graph_stats(graph)
+    print("synthetic social network:")
+    for key, value in stats.as_dict().items():
+        print(f"  {key}: {value:.3f}" if isinstance(value, float) else f"  {key}: {value}")
+
+    omega = maximum_clique_size(graph)
+    print(f"\nmaximum clique size: {omega}")
+    print("k  |C_k|  ratio   %vertices with missing neighbours")
+    for k in (1, 2, 3, 5):
+        result = find_maximum_defective_clique(graph, k, time_limit=60.0)
+        frac = fraction_not_fully_connected(graph, result.clique)
+        print(f"{k:<2d} {result.size:<6d} {result.size / omega:<7.2f} {100 * frac:.1f}%")
+
+    print("\ndiversified top-4 communities (k = 2):")
+    communities = top_r_diversified_defective_cliques(graph, k=2, r=4)
+    for i, community in enumerate(communities, start=1):
+        print(f"  community {i}: {len(community)} members")
+    covered = coverage(communities)
+    print(f"  distinct members covered: {len(covered)} of {graph.num_vertices}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` works in environments without the ``wheel``
+package (legacy ``setup.py develop`` code path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""Analyses of maximum k-defective cliques (the paper's Section 4.3) and bound quality."""
+
+from .bound_quality import BoundQualityReport, BoundSample, sample_bound_quality
+from .theory_check import (
+    LeftSpineTrace,
+    NodeCountCheck,
+    check_node_count_bound,
+    trace_left_spine,
+)
+from .properties import (
+    DefectiveCliqueProperties,
+    aggregate_properties,
+    analyze_graph,
+    extends_maximum_clique,
+    fraction_not_fully_connected,
+    size_ratio,
+)
+
+__all__ = [
+    "DefectiveCliqueProperties",
+    "analyze_graph",
+    "aggregate_properties",
+    "extends_maximum_clique",
+    "fraction_not_fully_connected",
+    "size_ratio",
+    "BoundSample",
+    "BoundQualityReport",
+    "sample_bound_quality",
+    "LeftSpineTrace",
+    "trace_left_spine",
+    "NodeCountCheck",
+    "check_node_count_bound",
+]

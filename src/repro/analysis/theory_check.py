@@ -1,0 +1,149 @@
+"""Empirical checks of the complexity analysis (Section 3.1.2, Lemma 3.4).
+
+The heart of the paper's :math:`O^*(\\gamma_k^n)` bound is **Fact 3**: along a
+chain of consecutive left branches (always including the branching vertex),
+at most ``k + 1`` branchings can happen before the reduction rules shrink the
+instance by at least two vertices — because rule BR only branches on vertices
+that add missing edges once the solution stops being fully adjacent, and
+RR1/RR2 guarantee every candidate has at least two non-neighbours
+(Lemma 3.3).
+
+This module replays left-branch chains on arbitrary graphs and measures their
+length, so the proof's combinatorial core can be validated empirically, and
+it compares the solver's actual node count against the theoretical
+:math:`2\\gamma_k^n` node bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.branching import select_branching_vertex
+from ..core.config import SolverConfig
+from ..core.gamma import gamma
+from ..core.instance import SearchState
+from ..core.reductions import apply_reductions
+from ..core.solver import KDCSolver
+from ..graphs.graph import Graph
+
+__all__ = ["LeftSpineTrace", "trace_left_spine", "NodeCountCheck", "check_node_count_bound"]
+
+#: Configuration matching Algorithm 1 (kDC-t): only BR + RR1 + RR2.
+_THEORY_CONFIG = SolverConfig(
+    use_ub1=False,
+    use_ub2=False,
+    use_ub3=False,
+    use_rr3=False,
+    use_rr4=False,
+    use_rr5=False,
+    use_rr6=False,
+    initial_heuristic="none",
+)
+
+
+@dataclass(frozen=True)
+class LeftSpineTrace:
+    """One maximal chain of left branches, in the sense of Lemma 3.4.
+
+    Attributes
+    ----------
+    branchings_before_shrink:
+        The ``q`` of the lemma: how many consecutive left branches were taken
+        before the instance size ``|I| = |V(g) \\ S|`` dropped by at least two
+        in a single step (or the chain ended at a leaf).
+    sizes:
+        The instance sizes ``|I_0|, |I_1|, ...`` along the chain, measured
+        after the reduction rules of each node.
+    ended_at_leaf:
+        Whether the chain terminated because the instance became a
+        k-defective clique rather than because of a size drop.
+    """
+
+    branchings_before_shrink: int
+    sizes: List[int]
+    ended_at_leaf: bool
+
+
+def trace_left_spine(graph: Graph, k: int, max_steps: int = 10_000) -> LeftSpineTrace:
+    """Follow the always-left path of Algorithm 1 on ``graph`` and measure its shape.
+
+    The path starts at the root instance ``(G, ∅)`` and repeatedly applies
+    RR1/RR2, selects the BR branching vertex, and descends into the inclusion
+    child — exactly the path the proof of Lemma 3.4 reasons about.  The walk
+    stops at the first step whose reductions shrink the instance by at least
+    two vertices (beyond the branching vertex itself), or at a leaf.
+    """
+    relabeled, _, _ = graph.relabel()
+    adj = [set(relabeled.neighbors(v)) for v in range(relabeled.num_vertices)]
+    state = SearchState.initial(adj, k)
+
+    sizes: List[int] = []
+    branchings = 0
+    ended_at_leaf = False
+    previous_size: Optional[int] = None
+
+    for _ in range(max_steps):
+        apply_reductions(state, _THEORY_CONFIG, lower_bound=0)
+        size = state.instance_size
+        sizes.append(size)
+        if previous_size is not None and size <= previous_size - 2:
+            # The lemma's terminating condition: |I_q| <= |I_{q-1}| - 2.
+            break
+        if state.is_defective_clique():
+            ended_at_leaf = True
+            break
+        vertex = select_branching_vertex(state)
+        if vertex is None:
+            ended_at_leaf = True
+            break
+        state.add_to_solution(vertex)
+        branchings += 1
+        previous_size = size
+    return LeftSpineTrace(
+        branchings_before_shrink=branchings,
+        sizes=sizes,
+        ended_at_leaf=ended_at_leaf,
+    )
+
+
+@dataclass(frozen=True)
+class NodeCountCheck:
+    """Comparison of the measured search-tree size against the theoretical bound."""
+
+    k: int
+    num_vertices: int
+    measured_nodes: int
+    gamma_k: float
+    #: theoretical bound on the number of search-tree nodes: 2 * gamma_k ** n
+    node_bound: float
+
+    @property
+    def within_bound(self) -> bool:
+        """True when the measured node count respects the theoretical bound."""
+        return self.measured_nodes <= self.node_bound
+
+
+def check_node_count_bound(graph: Graph, k: int, config: Optional[SolverConfig] = None) -> NodeCountCheck:
+    """Solve ``graph`` and compare the explored node count with ``2·γ_k^n``.
+
+    The comparison uses the number of vertices of the *reduced* graph handed
+    to the branch-and-bound (the bound in Theorem 3.5 is stated for the graph
+    the search actually runs on).  For the full practical solver the measured
+    count is typically many orders of magnitude below the bound; the check is
+    still meaningful for the theoretical variant ``kDC-t`` on small graphs.
+    """
+    if config is None:
+        config = _THEORY_CONFIG
+    solver = KDCSolver(config, name="theory-check")
+    result = solver.solve(graph, k)
+    n = graph.num_vertices
+    g = gamma(k)
+    bound = 2.0 * (g ** n)
+    return NodeCountCheck(
+        k=k,
+        num_vertices=n,
+        measured_nodes=result.stats.nodes,
+        gamma_k=g,
+        node_bound=bound,
+    )

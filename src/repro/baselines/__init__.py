@@ -1,0 +1,29 @@
+"""Baseline algorithms the paper compares against.
+
+* :class:`MADECSolver` — MADEC+-style branch and bound (original coloring bound).
+* :class:`KDBBSolver` — KDBB-style branch and bound (degree-sequence bound + preprocessing).
+* :class:`MaxCliqueSolver` — exact maximum clique (for the Table 5–6 analyses).
+* :func:`brute_force_maximum_defective_clique` — exhaustive ground truth for tests.
+"""
+
+from .brute_force import (
+    brute_force_maximum_defective_clique,
+    brute_force_maximum_size,
+    enumerate_defective_cliques,
+)
+from .common import BaselineBranchAndBound
+from .kdbb import KDBBSolver
+from .madec import MADECSolver
+from .max_clique import MaxCliqueSolver, maximum_clique, maximum_clique_size
+
+__all__ = [
+    "BaselineBranchAndBound",
+    "MADECSolver",
+    "KDBBSolver",
+    "MaxCliqueSolver",
+    "maximum_clique",
+    "maximum_clique_size",
+    "brute_force_maximum_defective_clique",
+    "brute_force_maximum_size",
+    "enumerate_defective_cliques",
+]

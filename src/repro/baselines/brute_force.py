@@ -1,0 +1,85 @@
+"""Brute-force maximum k-defective clique solver (ground truth for tests).
+
+The solver enumerates vertex subsets in decreasing size order and returns the
+first subset that induces a k-defective clique.  Its running time is
+exponential with large constants, so it is only intended for graphs with
+roughly 20 vertices or fewer — exactly the sizes used by the correctness and
+property-based tests that cross-check the branch-and-bound solvers.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, List, Optional
+
+from ..core.defective import validate_k
+from ..exceptions import InvalidParameterError
+from ..graphs.graph import Graph, Vertex
+
+__all__ = ["brute_force_maximum_defective_clique", "brute_force_maximum_size", "enumerate_defective_cliques"]
+
+#: Refuse to brute-force graphs larger than this many vertices.
+_MAX_BRUTE_FORCE_VERTICES = 24
+
+
+def brute_force_maximum_defective_clique(graph: Graph, k: int) -> List[Vertex]:
+    """Return a maximum k-defective clique by exhaustive search.
+
+    Raises
+    ------
+    InvalidParameterError
+        If the graph has more than 24 vertices (the search would be far too slow).
+    """
+    validate_k(k)
+    n = graph.num_vertices
+    if n > _MAX_BRUTE_FORCE_VERTICES:
+        raise InvalidParameterError(
+            f"brute force is limited to {_MAX_BRUTE_FORCE_VERTICES} vertices, got {n}"
+        )
+    if n == 0:
+        return []
+    vertices = graph.vertices()
+    adjacency = {v: graph.neighbors(v) for v in vertices}
+    for size in range(n, 0, -1):
+        max_possible_missing = size * (size - 1) // 2
+        if max_possible_missing <= k:
+            # Any subset of this size works; return the first one.
+            return list(vertices[:size])
+        for subset in combinations(vertices, size):
+            if _missing_within(subset, adjacency) <= k:
+                return list(subset)
+    return [vertices[0]]
+
+
+def brute_force_maximum_size(graph: Graph, k: int) -> int:
+    """Return only the size of a maximum k-defective clique (exhaustive search)."""
+    return len(brute_force_maximum_defective_clique(graph, k))
+
+
+def enumerate_defective_cliques(graph: Graph, k: int, min_size: int = 1) -> Iterable[List[Vertex]]:
+    """Yield every k-defective clique of size at least ``min_size`` (exhaustive).
+
+    Used by tests that need the complete solution landscape of a tiny graph.
+    """
+    validate_k(k)
+    n = graph.num_vertices
+    if n > _MAX_BRUTE_FORCE_VERTICES:
+        raise InvalidParameterError(
+            f"enumeration is limited to {_MAX_BRUTE_FORCE_VERTICES} vertices, got {n}"
+        )
+    vertices = graph.vertices()
+    adjacency = {v: graph.neighbors(v) for v in vertices}
+    for size in range(max(1, min_size), n + 1):
+        for subset in combinations(vertices, size):
+            if _missing_within(subset, adjacency) <= k:
+                yield list(subset)
+
+
+def _missing_within(subset, adjacency) -> int:
+    missing = 0
+    for i, u in enumerate(subset):
+        nbrs = adjacency[u]
+        for v in subset[i + 1:]:
+            if v not in nbrs:
+                missing += 1
+    return missing

@@ -1,0 +1,184 @@
+"""Benchmark harness: timed solver runs and solved-instance accounting.
+
+The paper's headline evaluation metric is the *number of solved instances
+within a time limit* (Table 2, Figures 7 and 8) complemented by per-instance
+processing times (Table 3).  This module provides the runner that produces
+those records for any of the registered algorithms.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..baselines.kdbb import KDBBSolver
+from ..baselines.madec import MADECSolver
+from ..core.config import variant_config
+from ..core.result import SolveResult
+from ..core.solver import KDCSolver
+from ..datasets.collections import DatasetInstance
+from ..exceptions import InvalidParameterError
+from ..graphs.graph import Graph
+
+__all__ = [
+    "ALGORITHMS",
+    "make_solver",
+    "InstanceRecord",
+    "run_instance",
+    "run_collection",
+    "count_solved",
+    "solved_within",
+]
+
+#: Algorithm names accepted by :func:`make_solver`, in the order the paper reports them.
+ALGORITHMS = (
+    "kDC",
+    "kDC-t",
+    "kDC/UB1",
+    "kDC/RR3&4",
+    "kDC/UB1&RR3&4",
+    "kDC-Degen",
+    "KDBB",
+    "MADEC",
+)
+
+
+def make_solver(name: str, time_limit: Optional[float] = None, node_limit: Optional[int] = None):
+    """Instantiate a solver by its paper name.
+
+    ``kDC`` and its ablation variants map to :class:`KDCSolver` configured via
+    :func:`~repro.core.config.variant_config`; ``KDBB`` and ``MADEC`` map to
+    the baseline reimplementations.
+    """
+    if name in ("KDBB",):
+        return KDBBSolver(time_limit=time_limit, node_limit=node_limit)
+    if name in ("MADEC", "MADEC+"):
+        return MADECSolver(time_limit=time_limit, node_limit=node_limit)
+    try:
+        config = variant_config(name, time_limit=time_limit, node_limit=node_limit)
+    except InvalidParameterError as exc:
+        raise InvalidParameterError(
+            f"unknown algorithm {name!r}; expected one of {', '.join(ALGORITHMS)}"
+        ) from exc
+    return KDCSolver(config, name=name)
+
+
+@dataclass(frozen=True)
+class InstanceRecord:
+    """One (algorithm, graph, k) benchmark measurement."""
+
+    algorithm: str
+    collection: str
+    instance: str
+    k: int
+    solved: bool
+    size: int
+    elapsed_seconds: float
+    nodes: int
+
+    def as_dict(self) -> Dict[str, object]:
+        """Return the record as a flat dictionary (for CSV-style reporting)."""
+        return {
+            "algorithm": self.algorithm,
+            "collection": self.collection,
+            "instance": self.instance,
+            "k": self.k,
+            "solved": self.solved,
+            "size": self.size,
+            "elapsed_seconds": self.elapsed_seconds,
+            "nodes": self.nodes,
+        }
+
+
+def run_instance(
+    algorithm: str,
+    graph: Graph,
+    k: int,
+    time_limit: Optional[float],
+    collection: str = "",
+    instance: str = "",
+) -> InstanceRecord:
+    """Run one algorithm on one graph for one ``k`` under a time limit."""
+    solver = make_solver(algorithm, time_limit=time_limit)
+    start = time.perf_counter()
+    result: SolveResult = solver.solve(graph, k)
+    elapsed = time.perf_counter() - start
+    return InstanceRecord(
+        algorithm=algorithm,
+        collection=collection,
+        instance=instance,
+        k=k,
+        solved=result.optimal,
+        size=result.size,
+        elapsed_seconds=elapsed,
+        nodes=result.stats.nodes,
+    )
+
+
+def run_collection(
+    algorithms: Sequence[str],
+    instances: Iterable[DatasetInstance],
+    k_values: Sequence[int],
+    time_limit: Optional[float],
+    progress: Optional[Callable[[InstanceRecord], None]] = None,
+) -> List[InstanceRecord]:
+    """Run every algorithm on every instance for every ``k``; return all records.
+
+    Parameters
+    ----------
+    algorithms:
+        Algorithm names (see :data:`ALGORITHMS`).
+    instances:
+        Dataset instances to solve.
+    k_values:
+        Values of ``k`` to test (the paper uses {1, 3, 5, 10, 15, 20}).
+    time_limit:
+        Per-run wall-clock budget in seconds (``None`` = unlimited).
+    progress:
+        Optional callback invoked with each finished record.
+    """
+    records: List[InstanceRecord] = []
+    instances = list(instances)
+    for k in k_values:
+        for inst in instances:
+            graph = inst.graph
+            for algorithm in algorithms:
+                record = run_instance(
+                    algorithm,
+                    graph,
+                    k,
+                    time_limit,
+                    collection=inst.collection,
+                    instance=inst.name,
+                )
+                records.append(record)
+                if progress is not None:
+                    progress(record)
+    return records
+
+
+def count_solved(records: Iterable[InstanceRecord]) -> Dict[str, Dict[int, int]]:
+    """Aggregate records into ``{algorithm: {k: solved_count}}`` (the Table 2 shape)."""
+    table: Dict[str, Dict[int, int]] = {}
+    for record in records:
+        per_k = table.setdefault(record.algorithm, {})
+        per_k.setdefault(record.k, 0)
+        if record.solved:
+            per_k[record.k] += 1
+    return table
+
+
+def solved_within(records: Iterable[InstanceRecord], time_limit: float) -> Dict[str, Dict[int, int]]:
+    """Count, per algorithm and k, the records solved within ``time_limit`` seconds.
+
+    Used to produce the Figure 7/8 curves: one full run with a generous limit
+    is recorded once, then re-thresholded at each plotted time limit.
+    """
+    table: Dict[str, Dict[int, int]] = {}
+    for record in records:
+        per_k = table.setdefault(record.algorithm, {})
+        per_k.setdefault(record.k, 0)
+        if record.solved and record.elapsed_seconds <= time_limit:
+            per_k[record.k] += 1
+    return table

@@ -1,0 +1,72 @@
+"""Plain-text table formatting for experiment results.
+
+The experiment drivers return structured data; these helpers render them as
+aligned text tables that mirror the layout of the paper's tables so the
+reproduced numbers can be compared side by side with the published ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["format_table", "format_solved_table", "format_float"]
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    """Format a float compactly (trailing zeros trimmed, at most ``digits`` decimals)."""
+    text = f"{value:.{digits}f}"
+    if "." in text:
+        text = text.rstrip("0").rstrip(".")
+    return text if text else "0"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
+    """Render rows as an aligned monospace table.
+
+    Parameters
+    ----------
+    headers:
+        Column headers.
+    rows:
+        Row values; every cell is converted with ``str`` (floats are formatted
+        with :func:`format_float`).
+    title:
+        Optional title printed above the table.
+    """
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered_rows.append(
+            [format_float(cell) if isinstance(cell, float) else str(cell) for cell in row]
+        )
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(list(headers)))
+    lines.append(render_row(["-" * w for w in widths]))
+    for row in rendered_rows:
+        lines.append(render_row(row))
+    return "\n".join(lines)
+
+
+def format_solved_table(
+    solved: Mapping[str, Mapping[int, int]],
+    k_values: Sequence[int],
+    total_instances: int,
+    title: str = "",
+) -> str:
+    """Render a ``{algorithm: {k: count}}`` mapping in the Table 2 layout."""
+    headers = ["algorithm"] + [f"k={k}" for k in k_values] + ["total instances"]
+    rows = []
+    for algorithm, per_k in solved.items():
+        rows.append([algorithm] + [per_k.get(k, 0) for k in k_values] + [total_instances])
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,213 @@
+"""Command line interface: ``python -m repro`` / ``repro-kdc``.
+
+Sub-commands
+------------
+* ``solve``       — find a maximum k-defective clique of a graph file;
+* ``compare``     — run several algorithms on one graph and tabulate them;
+* ``top-r``       — top-r maximal or diversified k-defective cliques;
+* ``properties``  — Tables 5–7 style analysis of one graph;
+* ``experiments`` — run one of the paper's table/figure reproductions;
+* ``stats``       — print structural statistics of a graph file;
+* ``generate``    — write a synthetic collection to disk as edge-list files;
+* ``gamma``       — print the theoretical branching factors γ_k and σ_k.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .analysis.properties import analyze_graph
+from .bench.experiments import EXPERIMENTS, run_experiment
+from .bench.harness import ALGORITHMS, make_solver, run_instance
+from .bench.reporting import format_table
+from .core.gamma import complexity_comparison
+from .datasets.collections import COLLECTION_NAMES, SCALES, get_collection
+from .extensions import top_r_diversified_defective_cliques, top_r_maximal_defective_cliques
+from .graphs.io import load_graph, write_edge_list
+from .graphs.stats import graph_stats
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-kdc",
+        description="Maximum k-defective clique computation (reproduction of SIGMOD 2023 kDC).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    solve = subparsers.add_parser("solve", help="solve one graph file")
+    solve.add_argument("path", help="graph file (edge list, DIMACS or METIS)")
+    solve.add_argument("-k", type=int, required=True, help="number of tolerated missing edges")
+    solve.add_argument(
+        "--algorithm",
+        default="kDC",
+        choices=list(ALGORITHMS),
+        help="algorithm / variant to run (default: kDC)",
+    )
+    solve.add_argument("--time-limit", type=float, default=None, help="wall-clock budget in seconds")
+    solve.add_argument("--format", default="auto", choices=["auto", "edgelist", "dimacs", "metis"])
+    solve.add_argument("--show-vertices", action="store_true", help="print the clique's vertices")
+
+    compare = subparsers.add_parser("compare", help="run several algorithms on one graph and tabulate them")
+    compare.add_argument("path")
+    compare.add_argument("-k", type=int, required=True)
+    compare.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["kDC", "KDBB", "MADEC"],
+        choices=list(ALGORITHMS) + ["MADEC+"],
+    )
+    compare.add_argument("--time-limit", type=float, default=None)
+    compare.add_argument("--format", default="auto", choices=["auto", "edgelist", "dimacs", "metis"])
+
+    top_r = subparsers.add_parser("top-r", help="find the top-r (maximal or diversified) k-defective cliques")
+    top_r.add_argument("path")
+    top_r.add_argument("-k", type=int, required=True)
+    top_r.add_argument("-r", type=int, default=3)
+    top_r.add_argument("--diversified", action="store_true",
+                       help="maximise distinct-vertex coverage instead of individual sizes")
+    top_r.add_argument("--format", default="auto", choices=["auto", "edgelist", "dimacs", "metis"])
+
+    properties = subparsers.add_parser("properties", help="Tables 5-7 style analysis of one graph")
+    properties.add_argument("path")
+    properties.add_argument("-k", type=int, required=True)
+    properties.add_argument("--time-limit", type=float, default=None)
+    properties.add_argument("--format", default="auto", choices=["auto", "edgelist", "dimacs", "metis"])
+
+    experiments = subparsers.add_parser("experiments", help="reproduce a table or figure of the paper")
+    experiments.add_argument("name", choices=sorted(EXPERIMENTS), help="experiment to run")
+    experiments.add_argument("--scale", default="tiny", choices=list(SCALES))
+    experiments.add_argument("--time-limit", type=float, default=None, help="per-instance budget in seconds")
+
+    stats = subparsers.add_parser("stats", help="print structural statistics of a graph file")
+    stats.add_argument("path")
+    stats.add_argument("--format", default="auto", choices=["auto", "edgelist", "dimacs", "metis"])
+
+    generate = subparsers.add_parser("generate", help="write a synthetic collection to disk")
+    generate.add_argument("collection", choices=list(COLLECTION_NAMES))
+    generate.add_argument("output_dir")
+    generate.add_argument("--scale", default="small", choices=list(SCALES))
+
+    gamma_cmd = subparsers.add_parser("gamma", help="print the theoretical branching factors")
+    gamma_cmd.add_argument("--max-k", type=int, default=10)
+
+    return parser
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    graph = load_graph(args.path, fmt=args.format)
+    solver = make_solver(args.algorithm, time_limit=args.time_limit)
+    result = solver.solve(graph, args.k)
+    print(result.summary())
+    if args.show_vertices:
+        print("vertices:", " ".join(str(v) for v in result.clique))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    graph = load_graph(args.path, fmt=args.format)
+    rows = []
+    for algorithm in args.algorithms:
+        record = run_instance(algorithm, graph, args.k, args.time_limit, instance=os.path.basename(args.path))
+        rows.append(
+            [
+                algorithm,
+                record.size,
+                "yes" if record.solved else "no (budget)",
+                f"{record.elapsed_seconds:.3f}",
+                record.nodes,
+            ]
+        )
+    print(format_table(["algorithm", "size", "optimal", "time (s)", "nodes"], rows,
+                       title=f"maximum {args.k}-defective clique on {args.path}"))
+    return 0
+
+
+def _cmd_top_r(args: argparse.Namespace) -> int:
+    graph = load_graph(args.path, fmt=args.format)
+    if args.diversified:
+        cliques = top_r_diversified_defective_cliques(graph, args.k, args.r)
+        kind = "diversified"
+    else:
+        cliques = top_r_maximal_defective_cliques(graph, args.k, args.r)
+        kind = "maximal"
+    print(f"top-{args.r} {kind} {args.k}-defective cliques of {args.path}:")
+    for i, clique in enumerate(cliques, start=1):
+        print(f"  #{i} (size {len(clique)}): {' '.join(str(v) for v in clique)}")
+    return 0
+
+
+def _cmd_properties(args: argparse.Namespace) -> int:
+    graph = load_graph(args.path, fmt=args.format)
+    record = analyze_graph(graph, args.k, graph_name=os.path.basename(args.path),
+                           time_limit=args.time_limit)
+    print(f"maximum clique size:              {record.max_clique_size}")
+    print(f"maximum {args.k}-defective clique size: {record.max_defective_clique_size}")
+    print(f"size ratio:                       {record.size_ratio:.3f}")
+    print(f"extends a maximum clique:         {'yes' if record.extends_max_clique else 'no'}")
+    print(f"vertices with missing neighbours: {100 * record.fraction_not_fully_connected:.1f}%")
+    print(f"both computations optimal:        {'yes' if record.solved else 'no'}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    kwargs = {"scale": args.scale}
+    if args.time_limit is not None:
+        kwargs["time_limit"] = args.time_limit
+    result = run_experiment(args.name, **kwargs)
+    print(result.text)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = load_graph(args.path, fmt=args.format)
+    summary = graph_stats(graph)
+    for key, value in summary.as_dict().items():
+        print(f"{key}: {value}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    os.makedirs(args.output_dir, exist_ok=True)
+    instances = get_collection(args.collection, scale=args.scale)
+    for inst in instances:
+        path = os.path.join(args.output_dir, f"{inst.name}.edges")
+        write_edge_list(inst.graph, path)
+        print(f"wrote {inst.describe()} -> {path}")
+    return 0
+
+
+def _cmd_gamma(args: argparse.Namespace) -> int:
+    print(f"{'k':>3}  {'gamma_k (kDC)':>14}  {'sigma_k (MADEC+)':>17}")
+    for row in complexity_comparison(list(range(args.max_k + 1))):
+        print(f"{row.k:>3}  {row.gamma_k:>14.6f}  {row.sigma_k:>17.6f}")
+    return 0
+
+
+_COMMANDS = {
+    "solve": _cmd_solve,
+    "compare": _cmd_compare,
+    "top-r": _cmd_top_r,
+    "properties": _cmd_properties,
+    "experiments": _cmd_experiments,
+    "stats": _cmd_stats,
+    "generate": _cmd_generate,
+    "gamma": _cmd_gamma,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _COMMANDS[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

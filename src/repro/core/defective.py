@@ -1,0 +1,94 @@
+"""k-defective clique predicates (Definitions 2.1 and 2.2 of the paper).
+
+A vertex set ``C`` is a *k-defective clique* of a graph ``G`` if the subgraph
+induced by ``C`` misses at most ``k`` edges from being complete.  The property
+is hereditary: every subset of a k-defective clique is itself a k-defective
+clique, which is what makes branch-and-bound with greedy vertex additions
+sound.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set, Tuple
+
+from ..exceptions import InvalidParameterError
+from ..graphs.graph import Graph, Vertex
+
+__all__ = [
+    "missing_edge_count",
+    "missing_edges",
+    "is_k_defective_clique",
+    "is_maximal_k_defective_clique",
+    "defect",
+    "validate_k",
+]
+
+
+def validate_k(k: int) -> int:
+    """Validate the defectiveness parameter ``k`` (must be a non-negative integer)."""
+    if not isinstance(k, int) or isinstance(k, bool):
+        raise InvalidParameterError(f"k must be an integer, got {k!r}")
+    if k < 0:
+        raise InvalidParameterError(f"k must be non-negative, got {k}")
+    return k
+
+
+def missing_edge_count(graph: Graph, vertices: Iterable[Vertex]) -> int:
+    """Return the number of non-edges in the subgraph induced by ``vertices``.
+
+    This is :math:`|\\bar{E}(S)|` in the paper's notation.
+    """
+    return graph.count_missing_edges(vertices)
+
+
+def missing_edges(graph: Graph, vertices: Iterable[Vertex]) -> List[Tuple[Vertex, Vertex]]:
+    """Return the non-edges of the subgraph induced by ``vertices``."""
+    verts = list(set(vertices))
+    result: List[Tuple[Vertex, Vertex]] = []
+    for i, u in enumerate(verts):
+        nbrs = graph.neighbors(u)
+        for v in verts[i + 1:]:
+            if v not in nbrs:
+                result.append((u, v))
+    return result
+
+
+def defect(graph: Graph, vertices: Iterable[Vertex]) -> int:
+    """Alias of :func:`missing_edge_count`: how many edges the set is short of a clique."""
+    return missing_edge_count(graph, vertices)
+
+
+def is_k_defective_clique(graph: Graph, vertices: Iterable[Vertex], k: int) -> bool:
+    """Return ``True`` if ``vertices`` induce a k-defective clique of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        Host graph.
+    vertices:
+        Candidate vertex set; must all be present in ``graph``.
+    k:
+        Maximum number of tolerated missing edges (``k = 0`` tests for a clique).
+    """
+    validate_k(k)
+    return missing_edge_count(graph, vertices) <= k
+
+
+def is_maximal_k_defective_clique(graph: Graph, vertices: Iterable[Vertex], k: int) -> bool:
+    """Return ``True`` if ``vertices`` is a k-defective clique that no vertex can extend.
+
+    A k-defective clique ``C`` is maximal when for every vertex ``v`` outside
+    ``C``, the set ``C ∪ {v}`` misses more than ``k`` edges.
+    """
+    validate_k(k)
+    vset: Set[Vertex] = set(vertices)
+    current_missing = missing_edge_count(graph, vset)
+    if current_missing > k:
+        return False
+    for v in graph:
+        if v in vset:
+            continue
+        extra = sum(1 for u in vset if not graph.has_edge(u, v))
+        if current_missing + extra <= k:
+            return False
+    return True

@@ -1,0 +1,95 @@
+"""Initial-solution heuristics ``Degen`` and ``Degen-opt`` (Section 3.3, Algorithms 3 and 4).
+
+Both heuristics build a large k-defective clique quickly so the exact search
+can start with a strong lower bound, which powers the RR3–RR6 reductions and
+the preprocessing of the input graph.
+
+* ``Degen`` (Algorithm 3) computes a degeneracy ordering and returns its
+  longest suffix that forms a k-defective clique; O(n + m) time.
+* ``Degen-opt`` (Algorithm 4) additionally runs ``Degen`` inside the subgraph
+  induced by every vertex's higher-ranked neighbours and keeps the best of
+  the ``n + 1`` solutions; O(δ(G) · m) time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..graphs.degeneracy import degeneracy_ordering
+from ..graphs.graph import Graph, Vertex
+from .defective import validate_k
+
+__all__ = ["degen", "degen_opt", "initial_solution"]
+
+
+def degen(graph: Graph, k: int) -> List[Vertex]:
+    """Algorithm 3: the longest k-defective-clique suffix of a degeneracy ordering.
+
+    Because missing edges only accumulate as the suffix grows, the longest
+    valid suffix is found by scanning the ordering from the end and stopping
+    at the first vertex whose inclusion would exceed ``k`` missing edges.
+
+    Returns the vertices of the heuristic solution (possibly empty for an
+    empty graph).
+    """
+    validate_k(k)
+    if graph.num_vertices == 0:
+        return []
+    ordering = degeneracy_ordering(graph).ordering
+    chosen: List[Vertex] = []
+    chosen_set: Set[Vertex] = set()
+    missing = 0
+    for v in reversed(ordering):
+        adjacent = sum(1 for u in graph.neighbors(v) if u in chosen_set)
+        extra = len(chosen) - adjacent
+        if missing + extra > k:
+            break
+        missing += extra
+        chosen.append(v)
+        chosen_set.add(v)
+    return chosen
+
+
+def degen_opt(graph: Graph, k: int) -> List[Vertex]:
+    """Algorithm 4: ``Degen`` on the whole graph plus on every higher-neighbourhood subgraph.
+
+    For each vertex ``u``, the subgraph induced by its higher-ranked
+    neighbours ``N⁺(u)`` (w.r.t. the degeneracy ordering) is extracted and
+    ``Degen`` is run inside it; since every vertex of ``N⁺(u)`` is adjacent
+    to ``u``, appending ``u`` to the sub-solution keeps it a k-defective
+    clique.  The largest of the ``n + 1`` solutions is returned.
+    """
+    validate_k(k)
+    best = degen(graph, k)
+    if graph.num_vertices == 0:
+        return best
+    decomposition = degeneracy_ordering(graph)
+    position = decomposition.position
+    for u in decomposition.ordering:
+        pos_u = position[u]
+        higher = [v for v in graph.neighbors(u) if position[v] > pos_u]
+        if len(higher) + 1 <= len(best):
+            continue  # even a perfect sub-solution cannot beat the incumbent
+        sub = graph.subgraph(higher)
+        candidate = degen(sub, k)
+        if len(candidate) + 1 > len(best):
+            best = candidate + [u]
+    return best
+
+
+def initial_solution(graph: Graph, k: int, method: str = "degen-opt") -> List[Vertex]:
+    """Dispatch helper used by the solver's Line 1 of Algorithm 2.
+
+    Parameters
+    ----------
+    method:
+        ``"degen-opt"`` (default), ``"degen"``, or ``"none"`` (returns an
+        empty solution, used by the kDC-t theoretical variant).
+    """
+    if method == "none":
+        return []
+    if method == "degen":
+        return degen(graph, k)
+    if method == "degen-opt":
+        return degen_opt(graph, k)
+    raise ValueError(f"unknown initial-solution method {method!r}")

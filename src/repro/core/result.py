@@ -1,0 +1,113 @@
+"""Solver results and search statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..graphs.graph import Vertex
+
+__all__ = ["SearchStats", "SolveResult"]
+
+
+@dataclass
+class SearchStats:
+    """Counters collected while a branch-and-bound solver runs.
+
+    All counters are cumulative over one ``solve`` call.  They power the
+    ablation analyses: e.g. comparing ``prunes_by_bound`` between ``kDC`` and
+    ``kDC/UB1`` shows how much work the improved coloring bound saves.
+    """
+
+    #: number of branch-and-bound nodes (instances) visited
+    nodes: int = 0
+    #: maximum recursion depth reached
+    max_depth: int = 0
+    #: instances pruned because an upper bound did not exceed the best solution
+    prunes_by_bound: int = 0
+    #: instances that terminated as leaves (the whole instance was a k-defective clique)
+    leaves: int = 0
+    #: vertices removed by each reduction rule, keyed by rule name ("RR1" ... "RR6")
+    reductions: Dict[str, int] = field(default_factory=dict)
+    #: number of vertices greedily added to the partial solution by RR2
+    rr2_additions: int = 0
+    #: number of times the incumbent (best solution) was improved
+    improvements: int = 0
+    #: size of the heuristically computed initial solution (0 if disabled)
+    initial_solution_size: int = 0
+    #: vertices removed by preprocessing (RR5/RR6 applied to the input graph)
+    preprocess_removed_vertices: int = 0
+    #: edges removed by preprocessing
+    preprocess_removed_edges: int = 0
+    #: wall-clock seconds spent in the solve call
+    elapsed_seconds: float = 0.0
+
+    def count_reduction(self, rule: str, amount: int = 1) -> None:
+        """Increment the removal counter of a reduction rule."""
+        if amount:
+            self.reductions[rule] = self.reductions.get(rule, 0) + amount
+
+    def as_dict(self) -> Dict[str, object]:
+        """Return a flat dictionary (used by the benchmark harness for reporting)."""
+        data: Dict[str, object] = {
+            "nodes": self.nodes,
+            "max_depth": self.max_depth,
+            "prunes_by_bound": self.prunes_by_bound,
+            "leaves": self.leaves,
+            "rr2_additions": self.rr2_additions,
+            "improvements": self.improvements,
+            "initial_solution_size": self.initial_solution_size,
+            "preprocess_removed_vertices": self.preprocess_removed_vertices,
+            "preprocess_removed_edges": self.preprocess_removed_edges,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+        for rule, count in sorted(self.reductions.items()):
+            data[f"removed_{rule}"] = count
+        return data
+
+
+@dataclass
+class SolveResult:
+    """The outcome of a maximum k-defective clique computation.
+
+    Attributes
+    ----------
+    clique:
+        The best k-defective clique found, as a list of the caller's original
+        vertex labels.
+    size:
+        ``len(clique)``.
+    k:
+        The defectiveness parameter used.
+    optimal:
+        ``True`` if the search completed (the clique is a maximum k-defective
+        clique); ``False`` if a time or node budget interrupted the search, in
+        which case ``clique`` is the best solution found so far.
+    algorithm:
+        Human-readable name of the solver/variant that produced the result.
+    stats:
+        Search statistics.
+    """
+
+    clique: List[Vertex]
+    size: int
+    k: int
+    optimal: bool
+    algorithm: str
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    def __post_init__(self) -> None:
+        self.size = len(self.clique)
+
+    @property
+    def vertices(self) -> List[Vertex]:
+        """Alias of :attr:`clique` kept for readability at call sites."""
+        return self.clique
+
+    def summary(self) -> str:
+        """Return a one-line human-readable summary of the result."""
+        status = "optimal" if self.optimal else "budget-limited"
+        return (
+            f"{self.algorithm}: |C|={self.size} (k={self.k}, {status}, "
+            f"{self.stats.nodes} nodes, {self.stats.elapsed_seconds:.3f}s)"
+        )

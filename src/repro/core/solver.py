@@ -1,0 +1,267 @@
+"""The kDC branch-and-bound solver (Algorithms 1 and 2 of the paper).
+
+Two public entry points are provided:
+
+* :class:`KDCSolver` — a configurable solver object.  With the default
+  :class:`~repro.core.config.SolverConfig` it is the full practical ``kDC``
+  algorithm (Algorithm 2); with ``variant_config("kDC-t")`` it degenerates to
+  the bare theoretical Algorithm 1 (branching rule BR plus reduction rules
+  RR1/RR2 only).
+* :func:`find_maximum_defective_clique` — a convenience function for one-off
+  calls.
+
+The solver is exact: unless a time or node budget interrupts it, the returned
+set is a maximum k-defective clique and ``result.optimal`` is ``True``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import List, Optional
+
+from ..exceptions import BudgetExceededError, InvalidParameterError
+from ..graphs.graph import Graph, Vertex
+from .bounds import ub1_improved_coloring, ub2_min_degree, ub3_degree_sequence
+from .branching import select_branching_vertex
+from .config import SolverConfig, variant_config
+from .defective import validate_k
+from .heuristics import initial_solution
+from .instance import SearchState
+from .reductions import apply_reductions, preprocess_graph
+from .result import SearchStats, SolveResult
+
+__all__ = ["KDCSolver", "find_maximum_defective_clique", "maximum_defective_clique_size"]
+
+#: Recursion depth head-room added on top of the candidate-set size.
+_RECURSION_MARGIN = 256
+
+
+class KDCSolver:
+    """Exact maximum k-defective clique solver implementing the paper's kDC algorithm.
+
+    Parameters
+    ----------
+    config:
+        Feature flags and budgets; defaults to the full kDC configuration.
+    name:
+        Optional human-readable algorithm name recorded in results (defaults
+        to ``"kDC"`` or ``"kDC-t"`` depending on the configuration).
+
+    Notes
+    -----
+    A solver instance may be reused for many ``solve`` calls but is not
+    re-entrant: concurrent calls on the same instance are not supported.
+    """
+
+    def __init__(self, config: Optional[SolverConfig] = None, name: Optional[str] = None) -> None:
+        self.config = config if config is not None else SolverConfig()
+        if name is not None:
+            self.name = name
+        else:
+            self.name = "kDC" if self.config.uses_practical_techniques else "kDC-t"
+        # Per-solve fields (set up by :meth:`solve`).
+        self._stats: SearchStats = SearchStats()
+        self._best: List[int] = []
+        self._deadline: Optional[float] = None
+        self._node_limit: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def solve(self, graph: Graph, k: int) -> SolveResult:
+        """Compute a maximum k-defective clique of ``graph``.
+
+        Parameters
+        ----------
+        graph:
+            Input graph (not modified).
+        k:
+            Number of tolerated missing edges (``k >= 0``).
+
+        Returns
+        -------
+        SolveResult
+            The best clique found, with ``optimal=True`` unless a budget was hit.
+        """
+        validate_k(k)
+        config = self.config
+        stats = SearchStats()
+        self._stats = stats
+        start = time.perf_counter()
+        self._deadline = start + config.time_limit if config.time_limit is not None else None
+        self._node_limit = config.node_limit
+
+        if graph.num_vertices == 0:
+            stats.elapsed_seconds = time.perf_counter() - start
+            return SolveResult(clique=[], size=0, k=k, optimal=True, algorithm=self.name, stats=stats)
+
+        relabeled, _, to_label = graph.relabel()
+
+        # Line 1 of Algorithm 2: heuristic initial solution.
+        best = [v for v in initial_solution(relabeled, k, config.initial_heuristic)]
+        stats.initial_solution_size = len(best)
+        self._best = best
+
+        # Line 2 of Algorithm 2: reduce the input graph using the initial lower bound.
+        working = relabeled.copy()
+        if config.use_rr5 or config.use_rr6:
+            preprocess_graph(
+                working,
+                k,
+                lower_bound=len(best),
+                use_rr5=config.use_rr5,
+                use_rr6=config.use_rr6,
+                stats=stats,
+            )
+
+        optimal = True
+        if working.num_vertices > 0:
+            adj = self._adjacency_list(working, relabeled.num_vertices)
+            state = SearchState.initial(adj, k, vertices=working.vertex_set())
+            depth_needed = len(state.candidates) + _RECURSION_MARGIN
+            old_limit = sys.getrecursionlimit()
+            if old_limit < depth_needed:
+                sys.setrecursionlimit(depth_needed)
+            try:
+                self._branch(state, depth=1)
+            except BudgetExceededError:
+                optimal = False
+            finally:
+                if sys.getrecursionlimit() != old_limit:
+                    sys.setrecursionlimit(old_limit)
+
+        stats.elapsed_seconds = time.perf_counter() - start
+        labels = [to_label[v] for v in self._best]
+        try:
+            clique = sorted(labels)
+        except TypeError:  # mixed, unorderable vertex labels
+            clique = labels
+        return SolveResult(
+            clique=clique,
+            size=len(clique),
+            k=k,
+            optimal=optimal,
+            algorithm=self.name,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _adjacency_list(working: Graph, total_vertices: int) -> List[set]:
+        """Return adjacency sets indexed by the original integer ids of ``working``."""
+        adj: List[set] = [set() for _ in range(total_vertices)]
+        for v in working:
+            adj[v] = set(working.neighbors(v))
+        return adj
+
+    def _check_budget(self) -> None:
+        if self._deadline is not None and time.perf_counter() > self._deadline:
+            raise BudgetExceededError("time limit exceeded")
+        if self._node_limit is not None and self._stats.nodes >= self._node_limit:
+            raise BudgetExceededError("node limit exceeded")
+
+    def _record_solution(self, vertices: List[int]) -> None:
+        if len(vertices) > len(self._best):
+            self._best = list(vertices)
+            self._stats.improvements += 1
+
+    def _branch(self, state: SearchState, depth: int) -> None:
+        """Procedure Branch&Bound of Algorithms 1/2."""
+        self._check_budget()
+        stats = self._stats
+        stats.nodes += 1
+        if depth > stats.max_depth:
+            stats.max_depth = depth
+        config = self.config
+
+        # Line 4: reduction rules.
+        prune = apply_reductions(state, config, lower_bound=len(self._best), stats=stats)
+        if prune:
+            return
+
+        # Line 5: if the whole instance graph is a k-defective clique, record it.
+        if state.is_defective_clique():
+            stats.leaves += 1
+            self._record_solution(state.graph_vertices())
+            return
+
+        # Upper-bound pruning (Algorithm 2 only; a no-op for kDC-t).  The
+        # bounds are evaluated cheapest-first and evaluation stops as soon as
+        # one of them prunes the instance; this changes nothing about which
+        # instances survive, only how much work is spent deciding it.
+        if config.use_ub1 or config.use_ub2 or config.use_ub3:
+            incumbent = len(self._best)
+            pruned = (
+                (config.use_ub2 and ub2_min_degree(state) <= incumbent)
+                or (config.use_ub3 and ub3_degree_sequence(state) <= incumbent)
+                or (config.use_ub1 and ub1_improved_coloring(state) <= incumbent)
+            )
+            if pruned:
+                stats.prunes_by_bound += 1
+                return
+
+        # Even when not a leaf, the partial solution S itself is a valid
+        # k-defective clique and may beat the incumbent.
+        self._record_solution(state.solution)
+
+        # Line 6: branching vertex via rule BR.
+        branching_vertex = select_branching_vertex(state)
+        if branching_vertex is None:
+            return
+
+        # Line 7: left branch includes the branching vertex.
+        left = state.copy()
+        left.add_to_solution(branching_vertex)
+        self._branch(left, depth + 1)
+
+        # Line 8: right branch excludes it.  The current state is not needed
+        # afterwards, so it is mutated in place instead of copied.
+        state.remove_candidate(branching_vertex)
+        self._branch(state, depth + 1)
+
+
+def find_maximum_defective_clique(
+    graph: Graph,
+    k: int,
+    config: Optional[SolverConfig] = None,
+    variant: Optional[str] = None,
+    time_limit: Optional[float] = None,
+    node_limit: Optional[int] = None,
+) -> SolveResult:
+    """Find a maximum k-defective clique of ``graph`` (convenience wrapper around :class:`KDCSolver`).
+
+    Parameters
+    ----------
+    graph:
+        Input graph.
+    k:
+        Number of tolerated missing edges.
+    config:
+        Explicit solver configuration; mutually exclusive with ``variant``.
+    variant:
+        Name of a paper variant (see :data:`repro.core.config.VARIANT_NAMES`),
+        e.g. ``"kDC"``, ``"kDC-t"``, ``"kDC/UB1"``.
+    time_limit, node_limit:
+        Budgets applied when ``config`` is not given.
+
+    Returns
+    -------
+    SolveResult
+    """
+    if config is not None and variant is not None:
+        raise InvalidParameterError("pass either 'config' or 'variant', not both")
+    if config is None:
+        name = variant if variant is not None else "kDC"
+        config = variant_config(name, time_limit=time_limit, node_limit=node_limit)
+        solver = KDCSolver(config, name=name)
+    else:
+        solver = KDCSolver(config)
+    return solver.solve(graph, k)
+
+
+def maximum_defective_clique_size(graph: Graph, k: int, **kwargs) -> int:
+    """Return only the size of a maximum k-defective clique of ``graph``."""
+    return find_maximum_defective_clique(graph, k, **kwargs).size

@@ -1,0 +1,44 @@
+"""Synthetic benchmark collections standing in for the paper's graph corpora,
+plus the paper's published results embedded as reference data."""
+
+from .collections import (
+    COLLECTION_NAMES,
+    SCALES,
+    DatasetInstance,
+    all_collections,
+    dimacs_snap_like_collection,
+    facebook_like_collection,
+    get_collection,
+    real_world_like_collection,
+)
+from .paper_reference import (
+    COLLECTION_SIZES,
+    PAPER_K_VALUES,
+    TABLE2_SOLVED,
+    TABLE3_AVG_SPEEDUP_OVER_KDBB,
+    TABLE4_PREPROCESSING,
+    TABLE5_SIZE_RATIOS,
+    TABLE6_EXTENDS_MAX_CLIQUE,
+    TABLE7_PCT_NOT_FULLY_CONNECTED,
+    paper_winner_table2,
+)
+
+__all__ = [
+    "DatasetInstance",
+    "COLLECTION_NAMES",
+    "SCALES",
+    "get_collection",
+    "all_collections",
+    "real_world_like_collection",
+    "facebook_like_collection",
+    "dimacs_snap_like_collection",
+    "PAPER_K_VALUES",
+    "COLLECTION_SIZES",
+    "TABLE2_SOLVED",
+    "TABLE3_AVG_SPEEDUP_OVER_KDBB",
+    "TABLE4_PREPROCESSING",
+    "TABLE5_SIZE_RATIOS",
+    "TABLE6_EXTENDS_MAX_CLIQUE",
+    "TABLE7_PCT_NOT_FULLY_CONNECTED",
+    "paper_winner_table2",
+]

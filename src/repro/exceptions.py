@@ -1,0 +1,70 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class GraphError(ReproError):
+    """Raised when an operation on a :class:`~repro.graphs.Graph` is invalid.
+
+    Examples include adding a self-loop, removing a vertex that does not
+    exist, or querying the neighbourhood of an unknown vertex.
+    """
+
+
+class VertexNotFoundError(GraphError, KeyError):
+    """Raised when a vertex referenced by an operation is not in the graph."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """Raised when an edge referenced by an operation is not in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.u = u
+        self.v = v
+
+
+class SelfLoopError(GraphError, ValueError):
+    """Raised when a self-loop would be created in a simple graph."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"self-loop on vertex {vertex!r} is not allowed in a simple graph")
+        self.vertex = vertex
+
+
+class GraphFormatError(ReproError, ValueError):
+    """Raised when a graph file cannot be parsed."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """Raised when a solver, generator, or experiment parameter is invalid."""
+
+
+class SolverError(ReproError):
+    """Base class for errors raised by the branch-and-bound solvers."""
+
+
+class BudgetExceededError(SolverError):
+    """Raised internally when a solver exceeds its time or node budget.
+
+    The public solver entry points catch this exception and return a
+    :class:`~repro.core.result.SolveResult` with ``optimal=False`` instead of
+    propagating it, so user code normally never sees it.
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason

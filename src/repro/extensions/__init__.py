@@ -1,0 +1,13 @@
+"""Extensions sketched in Section 6 of the paper: top-r and diversified variants."""
+
+from .diversified import coverage, top_r_diversified_defective_cliques
+from .enumeration import count_maximal_defective_cliques, enumerate_maximal_defective_cliques
+from .top_r import top_r_maximal_defective_cliques
+
+__all__ = [
+    "enumerate_maximal_defective_cliques",
+    "count_maximal_defective_cliques",
+    "top_r_maximal_defective_cliques",
+    "top_r_diversified_defective_cliques",
+    "coverage",
+]

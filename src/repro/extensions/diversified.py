@@ -1,0 +1,61 @@
+"""Top-r diversified k-defective cliques (Section 6 of the paper).
+
+The goal is to report ``r`` k-defective cliques that together cover as many
+distinct vertices as possible.  Following the paper, the greedy strategy —
+repeatedly find a maximum k-defective clique with kDC, report it, delete its
+vertices, and continue — yields a ``(1 - 1/e)``-approximation of the optimal
+cover because vertex coverage is a monotone submodular objective.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ..core.config import SolverConfig
+from ..core.defective import validate_k
+from ..core.solver import KDCSolver
+from ..exceptions import InvalidParameterError
+from ..graphs.graph import Graph, Vertex
+
+__all__ = ["top_r_diversified_defective_cliques", "coverage"]
+
+
+def top_r_diversified_defective_cliques(
+    graph: Graph,
+    k: int,
+    r: int,
+    config: Optional[SolverConfig] = None,
+) -> List[List[Vertex]]:
+    """Greedily compute ``r`` k-defective cliques maximising distinct-vertex coverage.
+
+    The procedure iterates at most ``r`` times: each round solves a maximum
+    k-defective clique instance with :class:`KDCSolver` on the remaining
+    graph, records the solution, and removes its vertices.  Iteration stops
+    early when the remaining graph is empty.
+
+    Returns the cliques in the order they were found (non-increasing size).
+    """
+    validate_k(k)
+    if r < 1:
+        raise InvalidParameterError("r must be at least 1")
+
+    solver = KDCSolver(config)
+    remaining = graph.copy()
+    result: List[List[Vertex]] = []
+    for _ in range(r):
+        if remaining.num_vertices == 0:
+            break
+        solution = solver.solve(remaining, k)
+        if solution.size == 0:
+            break
+        result.append(solution.clique)
+        remaining.remove_vertices(solution.clique)
+    return result
+
+
+def coverage(cliques: List[List[Vertex]]) -> Set[Vertex]:
+    """Return the set of distinct vertices covered by a family of cliques."""
+    covered: Set[Vertex] = set()
+    for clique in cliques:
+        covered.update(clique)
+    return covered

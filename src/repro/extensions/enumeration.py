@@ -1,0 +1,105 @@
+"""Enumeration of maximal k-defective cliques (Section 6 of the paper).
+
+The paper sketches how kDC's machinery extends to enumerating large maximal
+k-defective cliques.  This module provides a straightforward, correct
+enumerator suitable for the moderate graph sizes of this repository: a binary
+include/exclude search that keeps an explicit "excluded" set so maximality is
+checked against the *original* graph, in the spirit of Bron–Kerbosch.
+
+A ``min_size`` threshold can be supplied to prune the search; with a large
+threshold the enumeration degrades gracefully towards the top-r use case in
+:mod:`repro.extensions.top_r`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Set
+
+from ..core.defective import validate_k
+from ..graphs.graph import Graph, Vertex
+
+__all__ = ["enumerate_maximal_defective_cliques", "count_maximal_defective_cliques"]
+
+
+def enumerate_maximal_defective_cliques(
+    graph: Graph,
+    k: int,
+    min_size: int = 1,
+    limit: Optional[int] = None,
+) -> Iterator[List[Vertex]]:
+    """Yield every maximal k-defective clique of ``graph`` with at least ``min_size`` vertices.
+
+    Parameters
+    ----------
+    graph:
+        Input graph (not modified).
+    k:
+        Defectiveness parameter.
+    min_size:
+        Only cliques with at least this many vertices are reported (smaller
+        ones are still explored when they can grow, but never yielded).
+    limit:
+        Optional cap on the number of cliques yielded.
+
+    Yields
+    ------
+    list
+        Vertex labels of one maximal k-defective clique; no clique is
+        reported twice.
+    """
+    validate_k(k)
+    if graph.num_vertices == 0:
+        return
+
+    relabeled, _, to_label = graph.relabel()
+    adj = [set(relabeled.neighbors(v)) for v in range(relabeled.num_vertices)]
+    emitted = 0
+
+    def extra_missing(vertex: int, solution: List[int]) -> int:
+        adjacency = adj[vertex]
+        return sum(1 for u in solution if u not in adjacency)
+
+    solution: List[int] = []
+    solution_set: Set[int] = set()
+
+    def search(candidates: List[int], excluded: Set[int], missing: int) -> Iterator[List[Vertex]]:
+        nonlocal emitted
+        if limit is not None and emitted >= limit:
+            return
+        # Candidates that can still join the current solution.  Because both
+        # the missing count and the per-vertex extra cost only grow as the
+        # solution grows, a candidate filtered out here can never become
+        # addable again, so it needs no further maximality consideration.
+        extendable = [v for v in candidates if missing + extra_missing(v, solution) <= k]
+        if not extendable:
+            # The solution is maximal unless an explicitly excluded vertex
+            # could still rejoin it (in which case the clique containing that
+            # vertex is reported on another branch instead).
+            if len(solution) >= min_size and all(
+                missing + extra_missing(v, solution) > k for v in excluded
+            ):
+                emitted += 1
+                yield [to_label[v] for v in solution]
+            return
+        v = extendable[0]
+        rest = [u for u in extendable[1:]]
+        # Branch 1: include v.
+        gained = extra_missing(v, solution)
+        solution.append(v)
+        solution_set.add(v)
+        yield from search(rest, set(excluded), missing + gained)
+        solution.pop()
+        solution_set.discard(v)
+        if limit is not None and emitted >= limit:
+            return
+        # Branch 2: exclude v.
+        excluded_with_v = set(excluded)
+        excluded_with_v.add(v)
+        yield from search(rest, excluded_with_v, missing)
+
+    yield from search(list(range(len(adj))), set(), 0)
+
+
+def count_maximal_defective_cliques(graph: Graph, k: int, min_size: int = 1) -> int:
+    """Return the number of maximal k-defective cliques with at least ``min_size`` vertices."""
+    return sum(1 for _ in enumerate_maximal_defective_cliques(graph, k, min_size=min_size))

@@ -1,0 +1,90 @@
+"""Greedy graph coloring used by the coloring-based upper bounds.
+
+The paper (Section 3.2.3) colours vertices greedily in the *reverse* of a
+degeneracy ordering and assigns each vertex the smallest colour not taken by
+an already-coloured neighbour.  This uses at most ``δ(G) + 1`` colours and
+runs in O(n + m) time.  Vertices sharing a colour form an independent set,
+which is exactly what the upper bounds UB1 and Eq. (2) rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .degeneracy import degeneracy_ordering
+from .graph import Graph, Vertex
+
+__all__ = ["greedy_coloring", "color_classes", "is_proper_coloring"]
+
+
+def greedy_coloring(
+    graph: Graph,
+    order: Optional[Sequence[Vertex]] = None,
+    restrict_to: Optional[Iterable[Vertex]] = None,
+) -> Dict[Vertex, int]:
+    """Colour ``graph`` greedily, returning a vertex → colour-index mapping.
+
+    Parameters
+    ----------
+    graph:
+        The graph to colour.
+    order:
+        Optional explicit colouring order.  When omitted, the reverse of a
+        degeneracy ordering is used, matching the paper's choice.
+    restrict_to:
+        Optional subset of vertices to colour (e.g. ``V(g) \\ S`` inside the
+        solver); vertices outside the subset are ignored entirely, including
+        as neighbours.
+
+    Returns
+    -------
+    dict
+        Colours are consecutive integers starting at 0.
+    """
+    if restrict_to is not None:
+        allowed = set(restrict_to)
+    else:
+        allowed = graph.vertex_set()
+
+    if order is None:
+        ordering = degeneracy_ordering(graph).ordering
+        order = list(reversed(ordering))
+
+    colors: Dict[Vertex, int] = {}
+    for v in order:
+        if v not in allowed:
+            continue
+        used = {colors[u] for u in graph.neighbors(v) if u in colors and u in allowed}
+        c = 0
+        while c in used:
+            c += 1
+        colors[v] = c
+    return colors
+
+
+def color_classes(colors: Dict[Vertex, int]) -> List[List[Vertex]]:
+    """Group a colouring into colour classes (independent sets).
+
+    The returned list is indexed by colour: ``classes[i]`` holds every vertex
+    with colour ``i``.  These are the partitions ``π_1, ..., π_c`` of the
+    paper's upper-bound computations.
+    """
+    if not colors:
+        return []
+    num = max(colors.values()) + 1
+    classes: List[List[Vertex]] = [[] for _ in range(num)]
+    for v, c in colors.items():
+        classes[c].append(v)
+    return classes
+
+
+def is_proper_coloring(graph: Graph, colors: Dict[Vertex, int]) -> bool:
+    """Return ``True`` if no edge of ``graph`` joins two same-coloured vertices.
+
+    Only edges with both endpoints coloured are checked, so the function can
+    be used on partial colourings.
+    """
+    for u, v in graph.iter_edges():
+        if u in colors and v in colors and colors[u] == colors[v]:
+            return False
+    return True

@@ -1,0 +1,87 @@
+"""Connected components and related connectivity helpers."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Set
+
+from .graph import Graph, Vertex
+
+__all__ = [
+    "connected_components",
+    "largest_component",
+    "is_connected",
+    "bfs_distances",
+    "diameter_lower_bound",
+]
+
+
+def connected_components(graph: Graph) -> List[Set[Vertex]]:
+    """Return the connected components as a list of vertex sets.
+
+    Components are returned in discovery order (deterministic for a fixed
+    graph construction order).
+    """
+    seen: Set[Vertex] = set()
+    components: List[Set[Vertex]] = []
+    for start in graph:
+        if start in seen:
+            continue
+        comp: Set[Vertex] = {start}
+        queue = deque([start])
+        seen.add(start)
+        while queue:
+            v = queue.popleft()
+            for u in graph.neighbors(v):
+                if u not in seen:
+                    seen.add(u)
+                    comp.add(u)
+                    queue.append(u)
+        components.append(comp)
+    return components
+
+
+def largest_component(graph: Graph) -> Graph:
+    """Return the subgraph induced by the largest connected component.
+
+    For an empty graph, an empty graph is returned.
+    """
+    comps = connected_components(graph)
+    if not comps:
+        return Graph()
+    biggest = max(comps, key=len)
+    return graph.subgraph(biggest)
+
+
+def is_connected(graph: Graph) -> bool:
+    """Return ``True`` if the graph is connected (the empty graph counts as connected)."""
+    if graph.num_vertices == 0:
+        return True
+    return len(connected_components(graph)) == 1
+
+
+def bfs_distances(graph: Graph, source: Vertex) -> Dict[Vertex, int]:
+    """Return BFS distances from ``source`` to every reachable vertex."""
+    dist: Dict[Vertex, int] = {source: 0}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u in graph.neighbors(v):
+            if u not in dist:
+                dist[u] = dist[v] + 1
+                queue.append(u)
+    return dist
+
+
+def diameter_lower_bound(graph: Graph, source: Optional[Vertex] = None) -> int:
+    """Return the eccentricity of ``source`` (a lower bound on the diameter).
+
+    With ``source=None``, an arbitrary vertex is used.  Returns 0 for graphs
+    with fewer than two vertices.
+    """
+    if graph.num_vertices < 2:
+        return 0
+    if source is None:
+        source = next(iter(graph))
+    dist = bfs_distances(graph, source)
+    return max(dist.values())

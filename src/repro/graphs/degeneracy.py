@@ -1,0 +1,132 @@
+"""Degeneracy ordering and core numbers (Definition 2.3 of the paper).
+
+The peeling algorithm repeatedly removes a vertex of minimum degree from the
+remaining graph and appends it to the ordering.  Using bucket queues this runs
+in O(n + m) time.  The largest minimum degree seen at removal time is the
+degeneracy :math:`\\delta(G)`, and the per-vertex value is its *core number*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from .graph import Graph, Vertex
+
+__all__ = [
+    "DegeneracyResult",
+    "degeneracy_ordering",
+    "core_numbers",
+    "degeneracy",
+]
+
+
+@dataclass(frozen=True)
+class DegeneracyResult:
+    """Output of the peeling algorithm.
+
+    Attributes
+    ----------
+    ordering:
+        The degeneracy ordering ``(v_1, ..., v_n)``: each ``v_i`` has minimum
+        degree in the subgraph induced by ``{v_i, ..., v_n}``.
+    core_number:
+        Mapping from vertex to its core number (the largest ``k`` such that
+        the vertex belongs to the k-core).
+    degeneracy:
+        The degeneracy :math:`\\delta(G)`, i.e. the maximum core number
+        (0 for an empty or edgeless graph).
+    position:
+        Mapping from vertex to its index in ``ordering``.
+    """
+
+    ordering: List[Vertex]
+    core_number: Dict[Vertex, int]
+    degeneracy: int
+    position: Dict[Vertex, int] = field(default_factory=dict)
+
+    def rank(self, vertex: Vertex) -> int:
+        """Return the position of ``vertex`` in the degeneracy ordering."""
+        return self.position[vertex]
+
+    def higher_ranked_neighbors(self, graph: Graph, vertex: Vertex) -> List[Vertex]:
+        """Return the neighbours of ``vertex`` that appear later in the ordering.
+
+        This is the set :math:`N^+(u)` used by ``Degen-opt`` (Algorithm 4).
+        """
+        pos = self.position[vertex]
+        return [u for u in graph.neighbors(vertex) if self.position[u] > pos]
+
+
+def degeneracy_ordering(graph: Graph) -> DegeneracyResult:
+    """Compute a degeneracy ordering with the bucket-based peeling algorithm.
+
+    Runs in O(n + m) time.  Ties are broken by bucket insertion order, which
+    makes the result deterministic for a fixed graph construction order.
+
+    Parameters
+    ----------
+    graph:
+        The input graph; it is not modified.
+
+    Returns
+    -------
+    DegeneracyResult
+        The ordering, per-vertex core numbers, and the degeneracy.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return DegeneracyResult(ordering=[], core_number={}, degeneracy=0, position={})
+
+    degree: Dict[Vertex, int] = graph.degrees()
+    max_degree = max(degree.values())
+
+    # Bucket queue: buckets[d] holds vertices believed to have degree d.
+    # Entries may become stale when a neighbour removal lowers a vertex's
+    # degree; stale entries are skipped when popped.
+    buckets: List[List[Vertex]] = [[] for _ in range(max_degree + 1)]
+    for v, d in degree.items():
+        buckets[d].append(v)
+
+    removed: Set[Vertex] = set()
+    core_number: Dict[Vertex, int] = {}
+    ordering: List[Vertex] = []
+    degeneracy_value = 0
+    d = 0
+
+    while len(ordering) < n:
+        while d <= max_degree and not buckets[d]:
+            d += 1
+        v = buckets[d].pop()
+        if v in removed or degree[v] != d:
+            continue  # stale bucket entry
+
+        removed.add(v)
+        degeneracy_value = max(degeneracy_value, d)
+        core_number[v] = degeneracy_value
+        ordering.append(v)
+
+        for u in graph.neighbors(v):
+            if u not in removed:
+                degree[u] -= 1
+                buckets[degree[u]].append(u)
+                if degree[u] < d:
+                    d = degree[u]
+
+    position = {v: i for i, v in enumerate(ordering)}
+    return DegeneracyResult(
+        ordering=ordering,
+        core_number=core_number,
+        degeneracy=degeneracy_value,
+        position=position,
+    )
+
+
+def core_numbers(graph: Graph) -> Dict[Vertex, int]:
+    """Return the core number of every vertex."""
+    return degeneracy_ordering(graph).core_number
+
+
+def degeneracy(graph: Graph) -> int:
+    """Return the degeneracy :math:`\\delta(G)` of the graph."""
+    return degeneracy_ordering(graph).degeneracy

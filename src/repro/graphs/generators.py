@@ -1,0 +1,387 @@
+"""Random and deterministic graph generators.
+
+These generators are the substrate that stands in for the paper's three
+benchmark collections (real-world graphs, Facebook social networks, and
+DIMACS10&SNAP graphs), which cannot be downloaded in this offline
+environment.  Each generator takes an explicit ``seed`` so every experiment in
+the repository is reproducible.
+
+The generator families are chosen so that the structural properties the kDC
+algorithm exploits are present: heavy-tailed degree distributions, low
+degeneracy relative to the number of vertices, and localised dense regions
+(near-cliques) that are larger than the maximum clique.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import InvalidParameterError
+from .graph import Graph, Vertex
+
+__all__ = [
+    "gnp_random_graph",
+    "gnm_random_graph",
+    "barabasi_albert_graph",
+    "powerlaw_cluster_graph",
+    "relaxed_caveman_graph",
+    "planted_defective_clique_graph",
+    "social_network_graph",
+    "mesh_graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "complete_graph",
+    "complete_multipartite_graph",
+    "turan_graph",
+    "split_graph",
+]
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise InvalidParameterError(message)
+
+
+# --------------------------------------------------------------------------- #
+# Classic random models
+# --------------------------------------------------------------------------- #
+def gnp_random_graph(n: int, p: float, seed: Optional[int] = None) -> Graph:
+    """Erdős–Rényi G(n, p): each of the n·(n-1)/2 edges appears independently with probability ``p``."""
+    _require(n >= 0, "n must be non-negative")
+    _require(0.0 <= p <= 1.0, "p must be in [0, 1]")
+    rng = random.Random(seed)
+    graph = Graph(vertices=range(n))
+    if p <= 0.0:
+        return graph
+    if p >= 1.0:
+        return Graph.complete(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                graph.add_edge(u, v)
+    return graph
+
+
+def gnm_random_graph(n: int, m: int, seed: Optional[int] = None) -> Graph:
+    """Erdős–Rényi G(n, m): exactly ``m`` distinct edges chosen uniformly at random."""
+    _require(n >= 0, "n must be non-negative")
+    max_edges = n * (n - 1) // 2
+    _require(0 <= m <= max_edges, f"m must be in [0, {max_edges}] for n={n}")
+    rng = random.Random(seed)
+    graph = Graph(vertices=range(n))
+    if m == max_edges:
+        return Graph.complete(n)
+    added = 0
+    seen: Set[Tuple[int, int]] = set()
+    while added < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        key = (u, v) if u < v else (v, u)
+        if key in seen:
+            continue
+        seen.add(key)
+        graph.add_edge(u, v)
+        added += 1
+    return graph
+
+
+def barabasi_albert_graph(n: int, m: int, seed: Optional[int] = None) -> Graph:
+    """Barabási–Albert preferential attachment: each new vertex attaches to ``m`` existing vertices.
+
+    Produces the heavy-tailed degree distributions typical of the paper's
+    real-world collection.
+    """
+    _require(m >= 1, "m must be at least 1")
+    _require(n >= m + 1, "n must be at least m + 1")
+    rng = random.Random(seed)
+    graph = Graph(vertices=range(n))
+    # Start from a star on m+1 vertices so every vertex has degree >= 1.
+    repeated: List[int] = []
+    for v in range(1, m + 1):
+        graph.add_edge(0, v)
+        repeated.extend((0, v))
+    for v in range(m + 1, n):
+        targets: Set[int] = set()
+        while len(targets) < m:
+            targets.add(rng.choice(repeated))
+        for t in targets:
+            graph.add_edge(v, t)
+            repeated.extend((v, t))
+    return graph
+
+
+def powerlaw_cluster_graph(n: int, m: int, p: float, seed: Optional[int] = None) -> Graph:
+    """Holme–Kim powerlaw-cluster model: BA attachment with probability ``p`` of closing a triangle.
+
+    Combines a heavy tail with high clustering, which is what makes maximum
+    k-defective cliques noticeably larger than maximum cliques in social
+    networks (Table 5 of the paper).
+    """
+    _require(m >= 1, "m must be at least 1")
+    _require(n >= m + 1, "n must be at least m + 1")
+    _require(0.0 <= p <= 1.0, "p must be in [0, 1]")
+    rng = random.Random(seed)
+    graph = Graph(vertices=range(n))
+    repeated: List[int] = []
+    for v in range(1, m + 1):
+        graph.add_edge(0, v)
+        repeated.extend((0, v))
+    for v in range(m + 1, n):
+        added = 0
+        target = rng.choice(repeated)
+        while added < m:
+            if not graph.has_edge(v, target) and target != v:
+                graph.add_edge(v, target)
+                repeated.extend((v, target))
+                added += 1
+                # triangle-closing step
+                if added < m and rng.random() < p:
+                    nbrs = [u for u in graph.neighbors(target) if u != v and not graph.has_edge(v, u)]
+                    if nbrs:
+                        w = rng.choice(nbrs)
+                        graph.add_edge(v, w)
+                        repeated.extend((v, w))
+                        added += 1
+            target = rng.choice(repeated)
+    return graph
+
+
+def relaxed_caveman_graph(
+    num_cliques: int,
+    clique_size: int,
+    rewire_p: float,
+    seed: Optional[int] = None,
+) -> Graph:
+    """Relaxed caveman graph: disjoint cliques whose edges are rewired with probability ``rewire_p``.
+
+    A classic community-structure model; the rewired cliques become
+    k-defective cliques for small ``k``, which is exactly the structure the
+    solver should recover.
+    """
+    _require(num_cliques >= 1, "num_cliques must be at least 1")
+    _require(clique_size >= 1, "clique_size must be at least 1")
+    _require(0.0 <= rewire_p <= 1.0, "rewire_p must be in [0, 1]")
+    rng = random.Random(seed)
+    n = num_cliques * clique_size
+    graph = Graph(vertices=range(n))
+    for c in range(num_cliques):
+        base = c * clique_size
+        members = range(base, base + clique_size)
+        for i in members:
+            for j in members:
+                if i < j:
+                    graph.add_edge(i, j)
+    # Rewire: each edge is, with probability rewire_p, replaced by an edge to a random vertex.
+    for u, v in list(graph.iter_edges()):
+        if rng.random() < rewire_p:
+            w = rng.randrange(n)
+            if w != u and not graph.has_edge(u, w):
+                graph.remove_edge(u, v)
+                graph.add_edge(u, w)
+    return graph
+
+
+# --------------------------------------------------------------------------- #
+# Models aimed at the paper's workloads
+# --------------------------------------------------------------------------- #
+def planted_defective_clique_graph(
+    n: int,
+    clique_size: int,
+    k: int,
+    background_p: float = 0.05,
+    seed: Optional[int] = None,
+) -> Graph:
+    """Plant a k-defective clique of ``clique_size`` vertices in a sparse G(n, p) background.
+
+    The planted subgraph is a complete graph on ``clique_size`` vertices with
+    exactly ``k`` edges removed (chosen at random), so the planted set is a
+    k-defective clique but not a (k-1)-defective clique whenever ``k >= 1``.
+    The remaining vertices form an Erdős–Rényi background, and every planted
+    vertex receives a few random edges into the background so the planted set
+    is not trivially separable.
+
+    This generator gives experiments a known optimum to compare against.
+    """
+    _require(clique_size <= n, "clique_size cannot exceed n")
+    _require(clique_size >= 2, "clique_size must be at least 2")
+    max_missing = clique_size * (clique_size - 1) // 2
+    _require(0 <= k < max_missing, "k must be in [0, C(clique_size, 2))")
+    rng = random.Random(seed)
+
+    graph = gnp_random_graph(n, background_p, seed=rng.randrange(2**31))
+    planted = list(range(clique_size))
+    # Complete the planted set, then remove exactly k internal edges.
+    for i in planted:
+        for j in planted:
+            if i < j and not graph.has_edge(i, j):
+                graph.add_edge(i, j)
+    internal = [(i, j) for i in planted for j in planted if i < j]
+    for (i, j) in rng.sample(internal, k):
+        graph.remove_edge(i, j)
+    # Light attachment of the planted set to the background.
+    background = list(range(clique_size, n))
+    if background:
+        for v in planted:
+            for _ in range(2):
+                w = rng.choice(background)
+                if not graph.has_edge(v, w):
+                    graph.add_edge(v, w)
+    return graph
+
+
+def social_network_graph(
+    n: int,
+    num_communities: int = 8,
+    intra_p: float = 0.4,
+    inter_p: float = 0.01,
+    hub_fraction: float = 0.02,
+    seed: Optional[int] = None,
+) -> Graph:
+    """A Facebook-style social network: dense communities, sparse inter-community edges, a few hubs.
+
+    This is the stand-in for the paper's Facebook graphs collection: the
+    dense communities produce large near-cliques whose maximum k-defective
+    cliques noticeably exceed the maximum clique.
+    """
+    _require(n >= 1, "n must be positive")
+    _require(num_communities >= 1, "num_communities must be positive")
+    _require(0.0 <= intra_p <= 1.0 and 0.0 <= inter_p <= 1.0, "probabilities must be in [0, 1]")
+    rng = random.Random(seed)
+    graph = Graph(vertices=range(n))
+
+    community: Dict[int, int] = {v: rng.randrange(num_communities) for v in range(n)}
+    members: List[List[int]] = [[] for _ in range(num_communities)]
+    for v, c in community.items():
+        members[c].append(v)
+
+    for group in members:
+        for i, u in enumerate(group):
+            for v in group[i + 1:]:
+                if rng.random() < intra_p:
+                    graph.add_edge(u, v)
+
+    # sparse global edges
+    num_inter = int(inter_p * n * max(1, num_communities))
+    for _ in range(num_inter):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and community[u] != community[v]:
+            graph.add_edge(u, v)
+
+    # hubs connect widely, mimicking high-degree users
+    num_hubs = max(1, int(hub_fraction * n))
+    hubs = rng.sample(range(n), num_hubs)
+    for h in hubs:
+        extra = rng.sample(range(n), min(n - 1, max(5, n // 20)))
+        for v in extra:
+            if v != h:
+                graph.add_edge(h, v)
+    return graph
+
+
+def mesh_graph(rows: int, cols: int) -> Graph:
+    """A rows × cols grid graph (DIMACS10-style mesh instance)."""
+    _require(rows >= 1 and cols >= 1, "rows and cols must be positive")
+    graph = Graph(vertices=range(rows * cols))
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                graph.add_edge(v, v + 1)
+            if r + 1 < rows:
+                graph.add_edge(v, v + cols)
+    return graph
+
+
+# --------------------------------------------------------------------------- #
+# Deterministic families
+# --------------------------------------------------------------------------- #
+def cycle_graph(n: int) -> Graph:
+    """Cycle on ``n`` vertices (n >= 3); n < 3 returns a path."""
+    _require(n >= 0, "n must be non-negative")
+    graph = Graph(vertices=range(n))
+    if n >= 2:
+        for v in range(n - 1):
+            graph.add_edge(v, v + 1)
+    if n >= 3:
+        graph.add_edge(n - 1, 0)
+    return graph
+
+
+def path_graph(n: int) -> Graph:
+    """Path on ``n`` vertices."""
+    _require(n >= 0, "n must be non-negative")
+    graph = Graph(vertices=range(n))
+    for v in range(n - 1):
+        graph.add_edge(v, v + 1)
+    return graph
+
+
+def star_graph(n: int) -> Graph:
+    """Star with centre 0 and ``n`` leaves (n + 1 vertices)."""
+    _require(n >= 0, "n must be non-negative")
+    graph = Graph(vertices=range(n + 1))
+    for leaf in range(1, n + 1):
+        graph.add_edge(0, leaf)
+    return graph
+
+
+def complete_graph(n: int) -> Graph:
+    """Complete graph on ``n`` vertices (alias for :meth:`Graph.complete`)."""
+    return Graph.complete(n)
+
+
+def complete_multipartite_graph(sizes: Sequence[int]) -> Graph:
+    """Complete multipartite graph with the given part sizes.
+
+    Every pair of vertices from different parts is adjacent, and parts are
+    independent sets.  The 3-partite clique in the paper's Figure 5 is
+    ``complete_multipartite_graph([3, 3, 3])``.
+    """
+    _require(all(s >= 0 for s in sizes), "part sizes must be non-negative")
+    graph = Graph(vertices=range(sum(sizes)))
+    boundaries: List[Tuple[int, int]] = []
+    start = 0
+    for s in sizes:
+        boundaries.append((start, start + s))
+        start += s
+    for i, (a_start, a_end) in enumerate(boundaries):
+        for b_start, b_end in boundaries[i + 1:]:
+            for u in range(a_start, a_end):
+                for v in range(b_start, b_end):
+                    graph.add_edge(u, v)
+    return graph
+
+
+def turan_graph(n: int, r: int) -> Graph:
+    """Turán graph T(n, r): complete r-partite graph with near-equal part sizes."""
+    _require(n >= 0, "n must be non-negative")
+    _require(r >= 1, "r must be positive")
+    base, extra = divmod(n, r)
+    sizes = [base + 1 if i < extra else base for i in range(r)]
+    return complete_multipartite_graph(sizes)
+
+
+def split_graph(clique_size: int, independent_size: int, attach_p: float = 0.5,
+                seed: Optional[int] = None) -> Graph:
+    """A split graph: a clique plus an independent set with random cross edges.
+
+    Split graphs are a stress test for the coloring-based bound: the
+    independent-set side forces many colour classes of size 1.
+    """
+    _require(clique_size >= 0 and independent_size >= 0, "sizes must be non-negative")
+    _require(0.0 <= attach_p <= 1.0, "attach_p must be in [0, 1]")
+    rng = random.Random(seed)
+    n = clique_size + independent_size
+    graph = Graph(vertices=range(n))
+    for u in range(clique_size):
+        for v in range(u + 1, clique_size):
+            graph.add_edge(u, v)
+    for u in range(clique_size, n):
+        for v in range(clique_size):
+            if rng.random() < attach_p:
+                graph.add_edge(u, v)
+    return graph

@@ -1,0 +1,229 @@
+"""Graph readers and writers.
+
+Supported formats
+-----------------
+* **Edge list** (``.txt``, ``.edges``): one ``u v`` pair per line; lines
+  starting with ``#`` or ``%`` are comments.  This is the format used by the
+  SNAP and Network Data Repository collections the paper evaluates on.
+* **DIMACS** (``.clq``, ``.col``, ``.dimacs``): ``p edge n m`` header and
+  ``e u v`` edge lines with 1-based vertex ids, the classic clique-benchmark
+  format.
+* **METIS** (``.graph``, ``.metis``): first line ``n m``, then line ``i``
+  lists the (1-based) neighbours of vertex ``i`` — the format used by the
+  DIMACS10 collection.
+
+All readers return a :class:`~repro.graphs.graph.Graph` whose vertices are
+integers, and all writers accept any graph (labels are written with ``str``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, TextIO, Union
+
+from ..exceptions import GraphFormatError
+from .graph import Graph
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "read_dimacs",
+    "write_dimacs",
+    "read_metis",
+    "write_metis",
+    "load_graph",
+    "save_graph",
+]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+# --------------------------------------------------------------------------- #
+# Edge list
+# --------------------------------------------------------------------------- #
+def read_edge_list(path: PathLike, comments: str = "#%") -> Graph:
+    """Read a whitespace-separated edge list file.
+
+    Vertex ids are parsed as integers when possible and kept as strings
+    otherwise.  Self-loops and duplicate edges are ignored, matching how the
+    paper's benchmark loaders sanitise raw repository data.
+    """
+    graph = Graph()
+    with open(path, "r", encoding="utf-8") as handle:
+        _parse_edge_lines(handle, graph, comments)
+    return graph
+
+
+def _parse_edge_lines(handle: TextIO, graph: Graph, comments: str) -> None:
+    for lineno, line in enumerate(handle, start=1):
+        stripped = line.strip()
+        if not stripped or stripped[0] in comments:
+            continue
+        parts = stripped.split()
+        if len(parts) < 2:
+            raise GraphFormatError(f"line {lineno}: expected two vertex ids, got {stripped!r}")
+        u, v = _coerce(parts[0]), _coerce(parts[1])
+        if u == v:
+            continue  # drop self-loops from raw data
+        graph.add_edge(u, v)
+
+
+def _coerce(token: str) -> Union[int, str]:
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def write_edge_list(graph: Graph, path: PathLike, header: bool = True) -> None:
+    """Write ``graph`` as an edge list; isolated vertices are listed in the header."""
+    with open(path, "w", encoding="utf-8") as handle:
+        if header:
+            handle.write(f"# n={graph.num_vertices} m={graph.num_edges}\n")
+            isolated = [v for v in graph if graph.degree(v) == 0]
+            if isolated:
+                handle.write("# isolated: " + " ".join(str(v) for v in isolated) + "\n")
+        for u, v in graph.iter_edges():
+            handle.write(f"{u} {v}\n")
+
+
+# --------------------------------------------------------------------------- #
+# DIMACS
+# --------------------------------------------------------------------------- #
+def read_dimacs(path: PathLike) -> Graph:
+    """Read a DIMACS ``.clq``/``.col`` file (1-based vertex ids become 0-based)."""
+    graph = Graph()
+    declared_n = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("c"):
+                continue
+            parts = stripped.split()
+            if parts[0] == "p":
+                if len(parts) < 4:
+                    raise GraphFormatError(f"line {lineno}: malformed problem line {stripped!r}")
+                declared_n = int(parts[2])
+                graph.add_vertices(range(declared_n))
+            elif parts[0] == "e":
+                if len(parts) < 3:
+                    raise GraphFormatError(f"line {lineno}: malformed edge line {stripped!r}")
+                u, v = int(parts[1]) - 1, int(parts[2]) - 1
+                if u == v:
+                    continue
+                graph.add_edge(u, v)
+            else:
+                raise GraphFormatError(f"line {lineno}: unknown record type {parts[0]!r}")
+    if declared_n is None:
+        raise GraphFormatError("missing 'p edge' problem line")
+    return graph
+
+
+def write_dimacs(graph: Graph, path: PathLike) -> None:
+    """Write ``graph`` in DIMACS format.  Vertices are relabeled to ``1..n``."""
+    relabeled, _, _ = graph.relabel()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("c written by repro.graphs.io\n")
+        handle.write(f"p edge {relabeled.num_vertices} {relabeled.num_edges}\n")
+        for u, v in relabeled.iter_edges():
+            handle.write(f"e {u + 1} {v + 1}\n")
+
+
+# --------------------------------------------------------------------------- #
+# METIS
+# --------------------------------------------------------------------------- #
+def read_metis(path: PathLike) -> Graph:
+    """Read a METIS adjacency file (format used by the DIMACS10 collection).
+
+    Comment lines start with ``%``.  The adjacency line of an isolated vertex
+    is blank, so blank lines are meaningful and are only skipped before the
+    header.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = [line.rstrip("\n") for line in handle]
+    data = [line for line in lines if not line.lstrip().startswith("%")]
+    while data and not data[0].strip():
+        data.pop(0)
+    if not data:
+        raise GraphFormatError("empty METIS file")
+    header = data[0].split()
+    if len(header) < 2:
+        raise GraphFormatError(f"malformed METIS header {data[0]!r}")
+    n = int(header[0])
+    graph = Graph(vertices=range(n))
+    if len(data) - 1 < n:
+        raise GraphFormatError(f"METIS file declares {n} vertices but has {len(data) - 1} adjacency lines")
+    for i in range(n):
+        for token in data[1 + i].split():
+            j = int(token) - 1
+            if j == i:
+                continue
+            if not 0 <= j < n:
+                raise GraphFormatError(f"vertex index {j + 1} out of range on line {i + 2}")
+            graph.add_edge(i, j)
+    return graph
+
+
+def write_metis(graph: Graph, path: PathLike) -> None:
+    """Write ``graph`` in METIS format.  Vertices are relabeled to ``1..n``."""
+    relabeled, _, _ = graph.relabel()
+    n = relabeled.num_vertices
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"{n} {relabeled.num_edges}\n")
+        for i in range(n):
+            nbrs = sorted(relabeled.neighbors(i))
+            handle.write(" ".join(str(j + 1) for j in nbrs) + "\n")
+
+
+# --------------------------------------------------------------------------- #
+# Format dispatch
+# --------------------------------------------------------------------------- #
+_EDGE_EXTS = {".txt", ".edges", ".edgelist", ".el"}
+_DIMACS_EXTS = {".clq", ".col", ".dimacs"}
+_METIS_EXTS = {".graph", ".metis"}
+
+
+def load_graph(path: PathLike, fmt: str = "auto") -> Graph:
+    """Load a graph, inferring the format from the file extension by default.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    fmt:
+        One of ``"auto"``, ``"edgelist"``, ``"dimacs"``, ``"metis"``.
+    """
+    fmt = _resolve_format(path, fmt)
+    if fmt == "edgelist":
+        return read_edge_list(path)
+    if fmt == "dimacs":
+        return read_dimacs(path)
+    if fmt == "metis":
+        return read_metis(path)
+    raise GraphFormatError(f"unknown graph format {fmt!r}")
+
+
+def save_graph(graph: Graph, path: PathLike, fmt: str = "auto") -> None:
+    """Save a graph, inferring the format from the file extension by default."""
+    fmt = _resolve_format(path, fmt)
+    if fmt == "edgelist":
+        write_edge_list(graph, path)
+    elif fmt == "dimacs":
+        write_dimacs(graph, path)
+    elif fmt == "metis":
+        write_metis(graph, path)
+    else:
+        raise GraphFormatError(f"unknown graph format {fmt!r}")
+
+
+def _resolve_format(path: PathLike, fmt: str) -> str:
+    if fmt != "auto":
+        return fmt
+    ext = os.path.splitext(os.fspath(path))[1].lower()
+    if ext in _EDGE_EXTS:
+        return "edgelist"
+    if ext in _DIMACS_EXTS:
+        return "dimacs"
+    if ext in _METIS_EXTS:
+        return "metis"
+    return "edgelist"

@@ -1,0 +1,75 @@
+"""k-core extraction (Definition 2.4 of the paper).
+
+The k-core of a graph is the maximal subgraph in which every vertex has
+degree at least ``k``.  It is computed by iteratively deleting vertices whose
+degree drops below ``k``; this runs in O(n + m) time.
+
+The k-core is the machinery behind reduction rule **RR5** of the paper: with a
+current best solution of size ``lb``, every vertex of a k-defective clique of
+size > ``lb`` must have degree at least ``lb - k`` inside it, so restricting
+the search to the ``(lb - k)``-core is safe.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Set
+
+from .graph import Graph, Vertex
+
+__all__ = ["k_core", "k_core_vertices", "core_reduce_in_place"]
+
+
+def k_core_vertices(graph: Graph, k: int) -> Set[Vertex]:
+    """Return the vertex set of the k-core of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        Input graph (not modified).
+    k:
+        Minimum degree requirement; ``k <= 0`` returns all vertices.
+
+    Returns
+    -------
+    set
+        Vertices of the (possibly empty) k-core.
+    """
+    if k <= 0:
+        return graph.vertex_set()
+
+    degree: Dict[Vertex, int] = graph.degrees()
+    alive: Set[Vertex] = set(degree)
+    queue = deque(v for v, d in degree.items() if d < k)
+    queued = set(queue)
+
+    while queue:
+        v = queue.popleft()
+        if v not in alive:
+            continue
+        alive.discard(v)
+        for u in graph.neighbors(v):
+            if u in alive:
+                degree[u] -= 1
+                if degree[u] < k and u not in queued:
+                    queue.append(u)
+                    queued.add(u)
+    return alive
+
+
+def k_core(graph: Graph, k: int) -> Graph:
+    """Return the k-core of ``graph`` as a new (vertex-induced) graph."""
+    return graph.subgraph(k_core_vertices(graph, k))
+
+
+def core_reduce_in_place(graph: Graph, k: int) -> Set[Vertex]:
+    """Reduce ``graph`` to its k-core in place, returning the removed vertices.
+
+    This is the form used by the solver preprocessing (RR5): the working copy
+    of the input graph is shrunk destructively so that subsequent reductions
+    and the search itself operate on the smaller graph.
+    """
+    keep = k_core_vertices(graph, k)
+    removed = graph.vertex_set() - keep
+    graph.remove_vertices(removed)
+    return removed

@@ -1,0 +1,146 @@
+"""Deterministic constructions of the example graphs used throughout the paper.
+
+These small graphs appear in the paper's figures and running examples; they
+are reproduced here so unit tests can check the algorithms against the exact
+claims made in the text (e.g. "the maximum 1-defective clique of Figure 2 has
+size 5 and misses edge (v2, v4)").
+"""
+
+from __future__ import annotations
+
+from .generators import complete_multipartite_graph
+from .graph import Graph
+
+__all__ = [
+    "figure1_graph",
+    "figure2_graph",
+    "figure4_graph",
+    "figure5_graph",
+    "figure6_graph",
+]
+
+
+def figure1_graph() -> Graph:
+    """The 8-vertex graph of Figure 1 ("Clique vs. k-Defective Clique").
+
+    The paper states its maximum clique size is 4 and that the maximum
+    k-defective clique size is ``4 + k`` for every ``k <= 4``; in particular
+    the entire graph is a 4-defective clique and removing any single vertex
+    yields a 3-defective clique.  A graph with these properties is the
+    complete graph K8 minus a perfect matching (8 vertices, 4 missing edges):
+    the whole graph misses 4 edges, deleting any vertex leaves 3 missing
+    edges, and the largest set avoiding all matching pairs has 4 vertices.
+    """
+    g = Graph.complete(8)
+    for u, v in ((0, 1), (2, 3), (4, 5), (6, 7)):
+        g.remove_edge(u, v)
+    return g
+
+
+def figure2_graph() -> Graph:
+    """The 12-vertex example graph of Figure 2.
+
+    Vertices are labelled 1..12 to match the paper's v1..v12.  The structure
+    follows the paper's description and running examples:
+
+    * ``{v8, ..., v12}`` is a maximum clique (size 5) and also a maximum
+      1-defective clique;
+    * ``{v1, ..., v6}`` misses only the edges (v2, v4) and (v1, v5), so both
+      ``{v1, v2, v3, v4, v6}`` and ``{v1, v2, v3, v5, v6}`` are 1-defective
+      cliques of size 5 and ``{v1, ..., v6}`` is a 2-defective clique of
+      size 6;
+    * ``v7`` is adjacent to ``v1``, ``v5`` and ``v6`` only;
+    * a degeneracy ordering is ``(v7, v1, ..., v6, v8, ..., v12)`` with
+      degeneracy 4 (the whole graph is a 3-core, removing v7 gives a 4-core).
+    """
+    g = Graph(vertices=range(1, 13))
+    left = [1, 2, 3, 4, 5, 6]
+    missing = {(2, 4), (1, 5)}
+    for i, u in enumerate(left):
+        for v in left[i + 1:]:
+            if (u, v) not in missing and (v, u) not in missing:
+                g.add_edge(u, v)
+    # v7 attaches to v1, v5, v6 (degree 3, the first vertex peeled).
+    for v in (1, 5, 6):
+        g.add_edge(7, v)
+    # Right block: clique on v8..v12.
+    right = [8, 9, 10, 11, 12]
+    for i, u in enumerate(right):
+        for v in right[i + 1:]:
+            g.add_edge(u, v)
+    return g
+
+
+def figure4_graph() -> Graph:
+    """The 9-vertex running example of Figure 4 (used for Algorithm 1).
+
+    ``v1`` is adjacent to every other vertex; ``g1`` is the subgraph on
+    ``{v2, ..., v5}`` and ``g2`` the subgraph on ``{v6, ..., v9}``, with every
+    vertex of g1 adjacent to every vertex of g2 (the thick edge).  Within g1
+    the edges are the 4-cycle v2-v3-v4-v5 (so (v2, v4) and (v3, v5) are
+    missing) and within g2 the 4-cycle v6-v7-v8-v9 (so (v6, v8) and (v7, v9)
+    are missing).  This reproduces the behaviour discussed in Example 3.2:
+    with k = 3, RR2 greedily adds v1..v5, and adding v6 then v8 accumulates
+    three missing edges.
+    """
+    g = Graph(vertices=range(1, 10))
+    for v in range(2, 10):
+        g.add_edge(1, v)
+    g1 = [2, 3, 4, 5]
+    g2 = [6, 7, 8, 9]
+    cycle_edges = [(0, 1), (1, 2), (2, 3), (3, 0)]
+    for a, b in cycle_edges:
+        g.add_edge(g1[a], g1[b])
+        g.add_edge(g2[a], g2[b])
+    for u in g1:
+        for v in g2:
+            g.add_edge(u, v)
+    return g
+
+
+def figure5_graph() -> Graph:
+    """The 11-vertex graph of Figure 5 (upper-bound running example).
+
+    The partial solution ``S`` consists of two isolated vertices (labelled
+    "s1" and "s2"); the rest is a complete 3-partite graph with parts of size
+    three (27 edges total).  With k = 3 the old coloring bound (Eq. (2))
+    evaluates to 11 while UB1 evaluates to 3.
+    """
+    g = complete_multipartite_graph([3, 3, 3])
+    g.add_vertex("s1")
+    g.add_vertex("s2")
+    return g
+
+
+def figure5_partition():
+    """Return (S, [pi1, pi2, pi3]) for the Figure 5 running example."""
+    parts = [[0, 1, 2], [3, 4, 5], [6, 7, 8]]
+    return ["s1", "s2"], parts
+
+
+def figure6_graph() -> Graph:
+    """A 7-vertex graph in the spirit of Figure 6 (initial-solution example).
+
+    The exact adjacency of the paper's Figure 6 is not fully specified in the
+    text, so this construction keeps the properties Example 3.8 relies on:
+
+    * ``{v1, v2, v3, v4}`` is a 1-defective clique (it misses only the edge
+      (v2, v4)) and the maximum 1-defective clique of the graph has size 4,
+      so an optimal heuristic answer exists among the neighbourhood subgraphs
+      that ``Degen-opt`` explores;
+    * the graph also contains the triangle ``{v4, v6, v7}`` that a plain
+      degeneracy-suffix heuristic tends to report, so ``Degen-opt`` can beat
+      ``Degen`` on this instance.
+    """
+    g = Graph(vertices=range(1, 8))
+    edges = [
+        (1, 2), (1, 3), (1, 4),          # v1 with its higher-ranked neighbours
+        (2, 3),                          # v2-v3 (v2-v4 missing: 1 defect in {v1..v4})
+        (3, 4),
+        (4, 6), (4, 7), (6, 7),          # the triangle the Degen suffix finds
+        (5, 6), (5, 2),                  # v5 attaches loosely
+        (3, 6),                          # makes the suffix {v3,v4,v6,v7} miss 2 edges
+    ]
+    for u, v in edges:
+        g.add_edge(u, v)
+    return g

@@ -1,0 +1,108 @@
+"""Descriptive statistics of graphs used by the dataset and benchmark layers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .components import connected_components
+from .degeneracy import degeneracy_ordering
+from .graph import Graph, Vertex
+
+__all__ = ["GraphStats", "graph_stats", "clustering_coefficient", "degree_histogram"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """A compact structural summary of a graph.
+
+    Attributes mirror the quantities the paper reports about its benchmark
+    collections (vertex/edge counts, density, degeneracy) plus a few extra
+    values that are useful when describing synthetic substitutes.
+    """
+
+    num_vertices: int
+    num_edges: int
+    density: float
+    max_degree: int
+    min_degree: int
+    avg_degree: float
+    degeneracy: int
+    num_components: int
+    clustering: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the statistics as a plain dictionary (handy for tabulation)."""
+        return {
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "density": self.density,
+            "max_degree": self.max_degree,
+            "min_degree": self.min_degree,
+            "avg_degree": self.avg_degree,
+            "degeneracy": self.degeneracy,
+            "num_components": self.num_components,
+            "clustering": self.clustering,
+        }
+
+
+def clustering_coefficient(graph: Graph) -> float:
+    """Return the average local clustering coefficient.
+
+    Vertices of degree < 2 contribute 0, the usual convention.  Quadratic in
+    the neighbourhood sizes; intended for the moderate graphs in this repo.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return 0.0
+    total = 0.0
+    for v in graph:
+        nbrs = list(graph.neighbors(v))
+        d = len(nbrs)
+        if d < 2:
+            continue
+        links = 0
+        nbr_set = graph.neighbors(v)
+        for i, u in enumerate(nbrs):
+            u_adj = graph.neighbors(u)
+            for w in nbrs[i + 1:]:
+                if w in u_adj:
+                    links += 1
+        total += 2.0 * links / (d * (d - 1))
+    return total / n
+
+
+def degree_histogram(graph: Graph) -> List[int]:
+    """Return ``hist`` where ``hist[d]`` counts vertices of degree ``d``."""
+    degrees = graph.degrees()
+    if not degrees:
+        return []
+    hist = [0] * (max(degrees.values()) + 1)
+    for d in degrees.values():
+        hist[d] += 1
+    return hist
+
+
+def graph_stats(graph: Graph) -> GraphStats:
+    """Compute a :class:`GraphStats` summary of ``graph``."""
+    n = graph.num_vertices
+    m = graph.num_edges
+    degrees = graph.degrees()
+    if n:
+        max_deg = max(degrees.values())
+        min_deg = min(degrees.values())
+        avg_deg = 2.0 * m / n
+    else:
+        max_deg = min_deg = 0
+        avg_deg = 0.0
+    return GraphStats(
+        num_vertices=n,
+        num_edges=m,
+        density=graph.density(),
+        max_degree=max_deg,
+        min_degree=min_deg,
+        avg_degree=avg_deg,
+        degeneracy=degeneracy_ordering(graph).degeneracy,
+        num_components=len(connected_components(graph)),
+        clustering=clustering_coefficient(graph),
+    )

@@ -1,0 +1,78 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    figure1_graph,
+    figure2_graph,
+    figure4_graph,
+    figure5_graph,
+    figure6_graph,
+    gnp_random_graph,
+    path_graph,
+    star_graph,
+)
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """The complete graph on three vertices."""
+    return complete_graph(3)
+
+
+@pytest.fixture
+def square() -> Graph:
+    """The 4-cycle (misses both diagonals)."""
+    return cycle_graph(4)
+
+
+@pytest.fixture
+def small_path() -> Graph:
+    """A path on five vertices."""
+    return path_graph(5)
+
+
+@pytest.fixture
+def small_star() -> Graph:
+    """A star with six leaves."""
+    return star_graph(6)
+
+
+@pytest.fixture
+def fig1() -> Graph:
+    return figure1_graph()
+
+
+@pytest.fixture
+def fig2() -> Graph:
+    return figure2_graph()
+
+
+@pytest.fixture
+def fig4() -> Graph:
+    return figure4_graph()
+
+
+@pytest.fixture
+def fig5() -> Graph:
+    return figure5_graph()
+
+
+@pytest.fixture
+def fig6() -> Graph:
+    return figure6_graph()
+
+
+@pytest.fixture
+def random_graph_factory():
+    """Factory for seeded G(n, p) graphs, so tests stay deterministic."""
+
+    def build(n: int, p: float, seed: int = 0) -> Graph:
+        return gnp_random_graph(n, p, seed=seed)
+
+    return build

@@ -1,0 +1,52 @@
+"""Tests for the bound-quality sampling study."""
+
+from __future__ import annotations
+
+from repro.analysis import BoundQualityReport, BoundSample, sample_bound_quality
+from repro.graphs import complete_graph, gnp_random_graph, social_network_graph
+
+
+class TestSampling:
+    def test_samples_collected_on_random_graph(self):
+        g = gnp_random_graph(40, 0.3, seed=5)
+        report = sample_bound_quality(g, k=2, max_depth=6)
+        assert isinstance(report, BoundQualityReport)
+        assert report.samples
+        assert all(isinstance(s, BoundSample) for s in report.samples)
+        # depths strictly increase along the left spine
+        depths = [s.depth for s in report.samples]
+        assert depths == sorted(set(depths))
+
+    def test_ub1_dominates_on_every_sample(self):
+        for seed in range(4):
+            g = social_network_graph(60, num_communities=4, intra_p=0.5, seed=seed)
+            report = sample_bound_quality(g, k=3, max_depth=6)
+            assert report.dominance_holds()
+            assert report.mean_ub1_vs_eq2_gap >= 0.0
+            assert report.mean_ub1_vs_ub3_gap >= 0.0
+
+    def test_clique_yields_no_samples(self):
+        # A complete graph is already a k-defective clique at the root, so the
+        # spine terminates immediately.
+        report = sample_bound_quality(complete_graph(8), k=1)
+        assert report.samples == []
+        assert report.mean_ub1_vs_eq2_gap == 0.0
+        assert report.dominance_holds()
+
+    def test_as_dict(self):
+        g = gnp_random_graph(30, 0.4, seed=9)
+        report = sample_bound_quality(g, k=2, max_depth=4)
+        data = report.as_dict()
+        assert set(data) == {"samples", "mean_ub1_vs_eq2_gap", "mean_ub1_vs_ub3_gap"}
+        assert data["samples"] == float(len(report.samples))
+
+    def test_max_depth_respected(self):
+        g = gnp_random_graph(50, 0.3, seed=11)
+        report = sample_bound_quality(g, k=3, max_depth=3)
+        assert len(report.samples) <= 3
+
+    def test_solution_grows_along_spine(self):
+        g = gnp_random_graph(40, 0.35, seed=13)
+        report = sample_bound_quality(g, k=2, max_depth=6)
+        sizes = [s.solution_size for s in report.samples]
+        assert all(b >= a for a, b in zip(sizes, sizes[1:]))

@@ -1,0 +1,87 @@
+"""Tests for the non-fully-adjacent-first branching rule (BR)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SearchState, select_branching_vertex
+from repro.graphs import Graph, complete_graph, cycle_graph, gnp_random_graph
+
+
+def _adjacency(graph):
+    return [set(graph.neighbors(v)) for v in range(graph.num_vertices)]
+
+
+class TestBranchingRule:
+    def test_empty_candidates_returns_none(self):
+        g = complete_graph(3)
+        state = SearchState.initial(_adjacency(g), k=0)
+        for v in list(state.candidates):
+            state.add_to_solution(v)
+        assert select_branching_vertex(state) is None
+
+    def test_prefers_non_fully_adjacent_vertex(self):
+        # S = {0}; vertex 1 adjacent to 0, vertex 2 not adjacent to 0.
+        g = Graph(edges=[(0, 1), (1, 2)])
+        state = SearchState.initial(_adjacency(g), k=1)
+        state.add_to_solution(0)
+        chosen = select_branching_vertex(state)
+        assert chosen == 2
+        assert state.non_nbrs_in_solution[chosen] >= 1
+
+    def test_arbitrary_choice_when_all_fully_adjacent(self):
+        g = complete_graph(4)
+        state = SearchState.initial(_adjacency(g), k=0)
+        state.add_to_solution(0)
+        chosen = select_branching_vertex(state)
+        assert chosen in state.candidates
+        assert state.non_nbrs_in_solution[chosen] == 0
+
+    def test_figure2_branching_example(self, fig2):
+        """Example 3.2-style check on the Figure 2 graph.
+
+        With S = {v1, ..., v6}, the candidates v8..v12 are not adjacent to the
+        whole of S while v7 is adjacent only to a few vertices; the selected
+        branching vertex must have at least one non-neighbour in S.
+        """
+        relabeled, to_int, _ = fig2.relabel()
+        adj = _adjacency(relabeled)
+        state = SearchState.initial(adj, k=5)
+        for label in (1, 2, 3, 4, 5, 6):
+            state.add_to_solution(to_int[label])
+        chosen = select_branching_vertex(state)
+        assert state.non_nbrs_in_solution[chosen] >= 1
+
+    @given(st.integers(min_value=2, max_value=14), st.floats(min_value=0.1, max_value=0.9),
+           st.integers(min_value=0, max_value=500))
+    @settings(max_examples=50, deadline=None)
+    def test_rule_invariant(self, n, p, seed):
+        """BR: if any candidate has a non-neighbour in S, the chosen one must too."""
+        g = gnp_random_graph(n, p, seed=seed)
+        state = SearchState.initial(_adjacency(g), k=3)
+        # Build some partial solution.
+        for v in sorted(state.candidates):
+            if state.missing_if_added(v) <= 3:
+                state.add_to_solution(v)
+            if len(state.solution) >= min(3, n):
+                break
+        if not state.candidates:
+            return
+        chosen = select_branching_vertex(state)
+        assert chosen in state.candidates
+        exists_non_fully_adjacent = any(
+            state.non_nbrs_in_solution[v] > 0 for v in state.candidates
+        )
+        if exists_non_fully_adjacent:
+            assert state.non_nbrs_in_solution[chosen] > 0
+        else:
+            assert state.non_nbrs_in_solution[chosen] == 0
+
+    def test_cycle_graph_selection(self):
+        g = cycle_graph(5)
+        state = SearchState.initial(_adjacency(g), k=2)
+        state.add_to_solution(0)
+        chosen = select_branching_vertex(state)
+        # 2 and 3 are the non-neighbours of 0; one of them must be chosen.
+        assert chosen in {2, 3}

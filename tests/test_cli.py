@@ -1,0 +1,96 @@
+"""Tests for the command line interface."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graphs import complete_graph, write_edge_list
+
+
+@pytest.fixture
+def clique_file(tmp_path):
+    path = tmp_path / "k5.edges"
+    write_edge_list(complete_graph(5), path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_solve_arguments(self):
+        args = build_parser().parse_args(["solve", "g.edges", "-k", "2", "--algorithm", "KDBB"])
+        assert args.command == "solve"
+        assert args.k == 2
+        assert args.algorithm == "KDBB"
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "g.edges", "-k", "1", "--algorithm", "bogus"])
+
+    def test_experiments_arguments(self):
+        args = build_parser().parse_args(["experiments", "table4", "--scale", "tiny"])
+        assert args.name == "table4"
+        assert args.scale == "tiny"
+
+
+class TestCommands:
+    def test_solve(self, clique_file, capsys):
+        code = main(["solve", clique_file, "-k", "1", "--show-vertices"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "|C|=5" in out
+        assert "vertices:" in out
+
+    def test_solve_with_baseline(self, clique_file, capsys):
+        assert main(["solve", clique_file, "-k", "0", "--algorithm", "MADEC"]) == 0
+        assert "MADEC" in capsys.readouterr().out
+
+    def test_stats(self, clique_file, capsys):
+        assert main(["stats", clique_file]) == 0
+        out = capsys.readouterr().out
+        assert "num_vertices: 5" in out
+        assert "degeneracy: 4" in out
+
+    def test_gamma(self, capsys):
+        assert main(["gamma", "--max-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "gamma_k" in out
+        assert out.count("\n") >= 5
+
+    def test_generate(self, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        assert main(["generate", "dimacs_snap_like", str(out_dir), "--scale", "tiny"]) == 0
+        files = os.listdir(out_dir)
+        assert files
+        assert all(name.endswith(".edges") for name in files)
+
+    def test_experiments_table4(self, capsys):
+        assert main(["experiments", "table4", "--scale", "tiny"]) == 0
+        assert "Table 4" in capsys.readouterr().out
+
+    def test_compare(self, clique_file, capsys):
+        assert main(["compare", clique_file, "-k", "1", "--algorithms", "kDC", "MADEC"]) == 0
+        out = capsys.readouterr().out
+        assert "kDC" in out and "MADEC" in out
+        assert "algorithm" in out
+
+    def test_top_r(self, clique_file, capsys):
+        assert main(["top-r", clique_file, "-k", "0", "-r", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "#1 (size 5)" in out
+
+    def test_top_r_diversified(self, clique_file, capsys):
+        assert main(["top-r", clique_file, "-k", "1", "-r", "2", "--diversified"]) == 0
+        assert "#1" in capsys.readouterr().out
+
+    def test_properties(self, clique_file, capsys):
+        assert main(["properties", clique_file, "-k", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "maximum clique size:              5" in out
+        assert "size ratio" in out

@@ -1,0 +1,148 @@
+"""Tests for greedy coloring, connected components and graph statistics."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    bfs_distances,
+    clustering_coefficient,
+    color_classes,
+    complete_graph,
+    connected_components,
+    cycle_graph,
+    degree_histogram,
+    diameter_lower_bound,
+    gnp_random_graph,
+    graph_stats,
+    greedy_coloring,
+    is_connected,
+    is_proper_coloring,
+    largest_component,
+    path_graph,
+    star_graph,
+)
+
+
+class TestColoring:
+    def test_coloring_is_proper_on_random_graphs(self):
+        for seed in range(5):
+            g = gnp_random_graph(25, 0.3, seed=seed)
+            colors = greedy_coloring(g)
+            assert is_proper_coloring(g, colors)
+            assert set(colors) == g.vertex_set()
+
+    def test_complete_graph_needs_n_colors(self):
+        g = complete_graph(6)
+        colors = greedy_coloring(g)
+        assert len(set(colors.values())) == 6
+
+    def test_bipartite_uses_two_colors(self):
+        g = cycle_graph(8)
+        colors = greedy_coloring(g)
+        assert len(set(colors.values())) <= 3  # greedy on even cycles may use <= 3
+
+    def test_restrict_to_subset(self):
+        g = complete_graph(5)
+        colors = greedy_coloring(g, restrict_to=[0, 1, 2])
+        assert set(colors) == {0, 1, 2}
+        assert is_proper_coloring(g, colors)
+
+    def test_explicit_order(self):
+        g = path_graph(4)
+        colors = greedy_coloring(g, order=[0, 1, 2, 3])
+        assert is_proper_coloring(g, colors)
+
+    def test_color_classes_are_independent_sets(self):
+        g = gnp_random_graph(20, 0.4, seed=9)
+        classes = color_classes(greedy_coloring(g))
+        for cls in classes:
+            for i, u in enumerate(cls):
+                for v in cls[i + 1:]:
+                    assert not g.has_edge(u, v)
+
+    def test_color_classes_empty(self):
+        assert color_classes({}) == []
+
+    def test_improper_coloring_detected(self):
+        g = Graph(edges=[(0, 1)])
+        assert not is_proper_coloring(g, {0: 0, 1: 0})
+
+    @given(st.integers(min_value=0, max_value=20), st.floats(min_value=0.0, max_value=1.0),
+           st.integers(min_value=0, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_greedy_never_exceeds_maxdeg_plus_one(self, n, p, seed):
+        g = gnp_random_graph(n, p, seed=seed)
+        colors = greedy_coloring(g)
+        if n:
+            used = len(set(colors.values())) if colors else 0
+            max_degree = max(g.degrees().values()) if g.num_vertices else 0
+            assert used <= max_degree + 1
+
+
+class TestComponents:
+    def test_empty_graph_connected(self):
+        assert is_connected(Graph())
+
+    def test_single_component(self):
+        assert len(connected_components(complete_graph(4))) == 1
+
+    def test_multiple_components(self):
+        g = Graph(edges=[(0, 1), (2, 3)], vertices=[4])
+        comps = connected_components(g)
+        assert len(comps) == 3
+        assert not is_connected(g)
+
+    def test_largest_component(self):
+        g = Graph(edges=[(0, 1), (1, 2), (3, 4)])
+        largest = largest_component(g)
+        assert largest.vertex_set() == {0, 1, 2}
+
+    def test_largest_component_empty(self):
+        assert largest_component(Graph()).num_vertices == 0
+
+    def test_bfs_distances(self):
+        g = path_graph(4)
+        assert bfs_distances(g, 0) == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_diameter_lower_bound(self):
+        assert diameter_lower_bound(path_graph(5), source=0) == 4
+        assert diameter_lower_bound(Graph(vertices=[0])) == 0
+
+
+class TestStats:
+    def test_clustering_of_complete_graph(self):
+        assert clustering_coefficient(complete_graph(5)) == 1.0
+
+    def test_clustering_of_star(self):
+        assert clustering_coefficient(star_graph(4)) == 0.0
+
+    def test_clustering_empty(self):
+        assert clustering_coefficient(Graph()) == 0.0
+
+    def test_degree_histogram(self):
+        hist = degree_histogram(star_graph(4))
+        assert hist[1] == 4
+        assert hist[4] == 1
+        assert degree_histogram(Graph()) == []
+
+    def test_graph_stats_fields(self):
+        g = complete_graph(4)
+        stats = graph_stats(g)
+        assert stats.num_vertices == 4
+        assert stats.num_edges == 6
+        assert stats.max_degree == 3
+        assert stats.min_degree == 3
+        assert stats.avg_degree == 3.0
+        assert stats.degeneracy == 3
+        assert stats.num_components == 1
+        assert stats.clustering == 1.0
+        as_dict = stats.as_dict()
+        assert as_dict["num_vertices"] == 4
+
+    def test_graph_stats_empty(self):
+        stats = graph_stats(Graph())
+        assert stats.num_vertices == 0
+        assert stats.avg_degree == 0.0

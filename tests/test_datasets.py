@@ -1,0 +1,83 @@
+"""Tests for the synthetic benchmark collections."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    COLLECTION_NAMES,
+    SCALES,
+    all_collections,
+    dimacs_snap_like_collection,
+    facebook_like_collection,
+    get_collection,
+    real_world_like_collection,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestCollections:
+    @pytest.mark.parametrize("name", COLLECTION_NAMES)
+    def test_collections_non_empty(self, name):
+        instances = get_collection(name, scale="tiny")
+        assert len(instances) >= 3
+        for inst in instances:
+            assert inst.collection == name
+            g = inst.graph
+            assert g.num_vertices > 0
+            assert g.num_edges > 0
+
+    def test_unknown_collection(self):
+        with pytest.raises(InvalidParameterError):
+            get_collection("imaginary")
+
+    def test_unknown_scale(self):
+        with pytest.raises(InvalidParameterError):
+            get_collection("facebook_like", scale="galactic")
+
+    def test_scales_grow(self):
+        tiny = facebook_like_collection(scale="tiny")
+        small = facebook_like_collection(scale="small")
+        assert len(small) >= len(tiny)
+        assert small[0].graph.num_vertices >= tiny[0].graph.num_vertices
+
+    def test_deterministic_generation(self):
+        a = real_world_like_collection(scale="tiny")[0].graph
+        b = real_world_like_collection(scale="tiny")[0].graph
+        assert a == b
+
+    def test_seed_override_changes_graphs(self):
+        a = get_collection("real_world_like", scale="tiny", seed=1)[0].graph
+        b = get_collection("real_world_like", scale="tiny", seed=2)[0].graph
+        assert a != b
+
+    def test_graph_cached_on_instance(self):
+        inst = dimacs_snap_like_collection(scale="tiny")[0]
+        assert inst.graph is inst.graph  # built once, cached
+
+    def test_describe(self):
+        inst = facebook_like_collection(scale="tiny")[0]
+        text = inst.describe()
+        assert inst.name in text and "n=" in text
+
+    def test_all_collections(self):
+        everything = all_collections(scale="tiny")
+        assert set(everything) == set(COLLECTION_NAMES)
+
+    def test_unique_instance_names_within_collection(self):
+        for name in COLLECTION_NAMES:
+            instances = get_collection(name, scale="tiny")
+            names = [inst.name for inst in instances]
+            assert len(names) == len(set(names))
+
+    def test_collections_are_structurally_distinct(self):
+        fb = facebook_like_collection(scale="tiny")
+        rw = real_world_like_collection(scale="tiny")
+        ds = dimacs_snap_like_collection(scale="tiny")
+        # The three collections must not accidentally share graphs.
+        assert fb[0].graph != rw[0].graph
+        assert fb[0].graph != ds[0].graph
+        # Every collection mixes sizes rather than repeating a single shape.
+        for collection in (fb, rw, ds):
+            sizes = {inst.graph.num_vertices for inst in collection}
+            assert len(sizes) >= 2

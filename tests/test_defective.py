@@ -1,0 +1,120 @@
+"""Tests for the k-defective clique predicates."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    defect,
+    is_k_defective_clique,
+    is_maximal_k_defective_clique,
+    missing_edge_count,
+    missing_edges,
+    validate_k,
+)
+from repro.exceptions import InvalidParameterError
+from repro.graphs import Graph, complete_graph, cycle_graph, gnp_random_graph, star_graph
+
+
+class TestValidateK:
+    def test_accepts_non_negative_integers(self):
+        assert validate_k(0) == 0
+        assert validate_k(17) == 17
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            validate_k(-1)
+
+    def test_rejects_non_integers(self):
+        with pytest.raises(InvalidParameterError):
+            validate_k(1.5)
+        with pytest.raises(InvalidParameterError):
+            validate_k(True)
+
+
+class TestMissingEdges:
+    def test_complete_graph_has_none(self):
+        g = complete_graph(5)
+        assert missing_edge_count(g, g.vertices()) == 0
+        assert missing_edges(g, g.vertices()) == []
+
+    def test_cycle(self):
+        g = cycle_graph(4)
+        assert missing_edge_count(g, [0, 1, 2, 3]) == 2
+        pairs = {frozenset(e) for e in missing_edges(g, [0, 1, 2, 3])}
+        assert pairs == {frozenset({0, 2}), frozenset({1, 3})}
+
+    def test_defect_alias(self):
+        g = star_graph(3)
+        assert defect(g, g.vertices()) == missing_edge_count(g, g.vertices()) == 3
+
+    def test_subset_only(self):
+        g = cycle_graph(5)
+        assert missing_edge_count(g, [0, 1, 2]) == 1
+        assert missing_edge_count(g, [0, 1]) == 0
+        assert missing_edge_count(g, [0]) == 0
+        assert missing_edge_count(g, []) == 0
+
+
+class TestIsDefectiveClique:
+    def test_clique_is_zero_defective(self):
+        g = complete_graph(4)
+        assert is_k_defective_clique(g, g.vertices(), 0)
+
+    def test_threshold_behaviour(self):
+        g = cycle_graph(4)
+        assert not is_k_defective_clique(g, g.vertices(), 1)
+        assert is_k_defective_clique(g, g.vertices(), 2)
+
+    def test_empty_and_singleton_sets(self):
+        g = complete_graph(3)
+        assert is_k_defective_clique(g, [], 0)
+        assert is_k_defective_clique(g, [0], 0)
+
+    def test_invalid_k(self):
+        g = complete_graph(3)
+        with pytest.raises(InvalidParameterError):
+            is_k_defective_clique(g, [0], -2)
+
+    @given(st.integers(min_value=1, max_value=12), st.floats(min_value=0.0, max_value=1.0),
+           st.integers(min_value=0, max_value=300), st.integers(min_value=0, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_hereditary_property(self, n, p, seed, k):
+        """Any subset of a k-defective clique is a k-defective clique (paper Section 2)."""
+        g = gnp_random_graph(n, p, seed=seed)
+        vertices = g.vertices()
+        if is_k_defective_clique(g, vertices, k):
+            subset = vertices[: max(0, len(vertices) - 2)]
+            assert is_k_defective_clique(g, subset, k)
+
+    @given(st.integers(min_value=0, max_value=12), st.floats(min_value=0.0, max_value=1.0),
+           st.integers(min_value=0, max_value=300))
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_k(self, n, p, seed):
+        g = gnp_random_graph(n, p, seed=seed)
+        vertices = g.vertices()
+        missing = missing_edge_count(g, vertices)
+        assert is_k_defective_clique(g, vertices, missing)
+        if missing > 0:
+            assert not is_k_defective_clique(g, vertices, missing - 1)
+
+
+class TestMaximality:
+    def test_maximal_in_clique_plus_pendant(self):
+        g = complete_graph(4)
+        g.add_edge(0, 4)
+        assert is_maximal_k_defective_clique(g, [0, 1, 2, 3, 4], 3)
+        assert not is_maximal_k_defective_clique(g, [0, 1, 2, 3], 3)  # can absorb the pendant
+        assert is_maximal_k_defective_clique(g, [0, 1, 2, 3], 0)
+
+    def test_not_a_defective_clique_is_not_maximal(self):
+        g = cycle_graph(5)
+        assert not is_maximal_k_defective_clique(g, g.vertices(), 1)
+
+    def test_star_centre(self):
+        g = star_graph(4)
+        # {centre, leaf} is a clique; adding another leaf introduces one missing edge.
+        assert not is_maximal_k_defective_clique(g, [0, 1], 1)
+        assert is_maximal_k_defective_clique(g, [0, 1], 0)

@@ -1,0 +1,124 @@
+"""Tests for degeneracy ordering and core numbers."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    core_numbers,
+    cycle_graph,
+    degeneracy,
+    degeneracy_ordering,
+    gnp_random_graph,
+    path_graph,
+    star_graph,
+)
+
+
+def _is_valid_degeneracy_ordering(graph: Graph, ordering) -> bool:
+    """Check Definition 2.3 directly: each vertex has minimum degree in the remaining suffix."""
+    remaining = set(ordering)
+    position = {v: i for i, v in enumerate(ordering)}
+    for v in ordering:
+        deg_v = sum(1 for u in graph.neighbors(v) if u in remaining)
+        for u in remaining:
+            deg_u = sum(1 for w in graph.neighbors(u) if w in remaining)
+            if deg_u < deg_v:
+                return False
+        remaining.discard(v)
+    return len(position) == graph.num_vertices
+
+
+class TestKnownGraphs:
+    def test_empty_graph(self):
+        result = degeneracy_ordering(Graph())
+        assert result.ordering == []
+        assert result.degeneracy == 0
+
+    def test_single_vertex(self):
+        result = degeneracy_ordering(Graph(vertices=[7]))
+        assert result.ordering == [7]
+        assert result.degeneracy == 0
+
+    def test_complete_graph(self):
+        assert degeneracy(complete_graph(6)) == 5
+
+    def test_cycle(self):
+        assert degeneracy(cycle_graph(8)) == 2
+
+    def test_path(self):
+        assert degeneracy(path_graph(6)) == 1
+
+    def test_star(self):
+        assert degeneracy(star_graph(9)) == 1
+
+    def test_figure2_degeneracy(self, fig2):
+        # The paper states the example graph has degeneracy 4.
+        assert degeneracy(fig2) == 4
+
+    def test_figure2_ordering_valid(self, fig2):
+        result = degeneracy_ordering(fig2)
+        assert _is_valid_degeneracy_ordering(fig2, result.ordering)
+        # v7 has the unique minimum degree (3) and must be peeled first.
+        assert result.ordering[0] == 7
+
+    def test_core_numbers_complete(self):
+        cores = core_numbers(complete_graph(4))
+        assert all(c == 3 for c in cores.values())
+
+    def test_core_numbers_star(self):
+        cores = core_numbers(star_graph(5))
+        assert all(c == 1 for c in cores.values())
+
+    def test_position_mapping(self):
+        result = degeneracy_ordering(path_graph(5))
+        for i, v in enumerate(result.ordering):
+            assert result.position[v] == i
+            assert result.rank(v) == i
+
+    def test_higher_ranked_neighbors(self):
+        g = complete_graph(4)
+        result = degeneracy_ordering(g)
+        first = result.ordering[0]
+        higher = result.higher_ranked_neighbors(g, first)
+        assert set(higher) == set(g.vertices()) - {first}
+
+
+class TestValidityProperties:
+    @given(st.integers(min_value=1, max_value=18), st.floats(min_value=0.0, max_value=1.0),
+           st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=40, deadline=None)
+    def test_ordering_is_valid(self, n, p, seed):
+        g = gnp_random_graph(n, p, seed=seed)
+        result = degeneracy_ordering(g)
+        assert sorted(result.ordering) == sorted(g.vertices())
+        assert _is_valid_degeneracy_ordering(g, result.ordering)
+
+    @given(st.integers(min_value=1, max_value=18), st.floats(min_value=0.0, max_value=1.0),
+           st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=40, deadline=None)
+    def test_degeneracy_bounds(self, n, p, seed):
+        g = gnp_random_graph(n, p, seed=seed)
+        d = degeneracy(g)
+        if g.num_edges == 0:
+            assert d == 0
+        else:
+            # Every graph with m edges satisfies delta(G) <= sqrt(2m) (and the
+            # paper quotes delta(G) <= sqrt(m) for simple graphs).
+            assert d <= max(1, int((2 * g.num_edges) ** 0.5) + 1)
+            max_degree = max(g.degrees().values())
+            assert d <= max_degree
+
+    @given(st.integers(min_value=1, max_value=15), st.floats(min_value=0.0, max_value=1.0),
+           st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_core_number_consistency(self, n, p, seed):
+        g = gnp_random_graph(n, p, seed=seed)
+        result = degeneracy_ordering(g)
+        assert result.degeneracy == max(result.core_number.values())
+        # Core numbers never exceed the vertex degree.
+        for v, core in result.core_number.items():
+            assert core <= g.degree(v)

@@ -1,0 +1,68 @@
+"""Tests for the exception hierarchy and the public package surface."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.exceptions import (
+    BudgetExceededError,
+    EdgeNotFoundError,
+    GraphError,
+    GraphFormatError,
+    InvalidParameterError,
+    ReproError,
+    SelfLoopError,
+    SolverError,
+    VertexNotFoundError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            GraphError,
+            VertexNotFoundError,
+            EdgeNotFoundError,
+            SelfLoopError,
+            GraphFormatError,
+            InvalidParameterError,
+            SolverError,
+            BudgetExceededError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_lookup_errors_are_key_errors(self):
+        assert issubclass(VertexNotFoundError, KeyError)
+        assert issubclass(EdgeNotFoundError, KeyError)
+
+    def test_value_style_errors_are_value_errors(self):
+        assert issubclass(SelfLoopError, ValueError)
+        assert issubclass(InvalidParameterError, ValueError)
+        assert issubclass(GraphFormatError, ValueError)
+
+    def test_messages_carry_context(self):
+        err = VertexNotFoundError("v42")
+        assert "v42" in str(err)
+        assert err.vertex == "v42"
+        edge_err = EdgeNotFoundError(1, 2)
+        assert edge_err.u == 1 and edge_err.v == 2
+        budget = BudgetExceededError("time limit exceeded")
+        assert budget.reason == "time limit exceeded"
+
+
+class TestPublicAPI:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing export {name}"
+
+    def test_catching_with_base_class(self):
+        g = repro.Graph()
+        with pytest.raises(ReproError):
+            g.remove_vertex("missing")
+        with pytest.raises(ReproError):
+            repro.find_maximum_defective_clique(g, -1)

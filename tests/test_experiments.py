@@ -1,0 +1,109 @@
+"""Smoke tests for the experiment drivers (one per table/figure of the paper).
+
+The drivers are exercised at the ``tiny`` scale with few k values and short
+time limits so the whole file stays fast; the full-scale runs live in the
+``benchmarks/`` directory.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    EXPERIMENTS,
+    figure7,
+    figure8,
+    run_experiment,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+
+
+class TestTable2:
+    def test_structure_and_ordering(self):
+        result = table2(scale="tiny", k_values=(1,), time_limit=3.0, algorithms=("kDC", "MADEC"))
+        assert result.name == "table2"
+        assert "real_world_like" in result.data
+        assert "Table 2" in result.text
+        for collection, solved in result.data.items():
+            assert set(solved) == {"kDC", "MADEC"}
+            # kDC must solve at least as many instances as the MADEC baseline
+            assert solved["kDC"][1] >= solved["MADEC"][1]
+
+
+class TestTable3:
+    def test_rows_cover_instances(self):
+        result = table3(scale="tiny", k_values=(1,), time_limit=3.0, algorithms=("kDC", "KDBB"))
+        assert "Table 3" in result.text
+        assert result.records
+        assert {r.algorithm for r in result.records} == {"kDC", "KDBB"}
+
+
+class TestTable4:
+    def test_ratios_reported(self):
+        result = table4(scale="tiny", k_values=(1,))
+        assert "Table 4" in result.text
+        assert result.data
+        for values in result.data.values():
+            # Degen-opt computes an initial solution at least as large as Degen's,
+            # and the kDC preprocessing never keeps more of the graph than
+            # kDC-Degen's (RR6 only removes extra edges).
+            assert values["initial_solution_ratio"] >= 1.0
+            assert values["reduced_vertices_ratio"] <= 1.0 + 1e-9
+            assert values["reduced_edges_ratio"] <= 1.0 + 1e-9
+
+
+class TestTables5to7:
+    def test_table5_ratios_at_least_one(self):
+        result = table5(scale="tiny", k_values=(1,), time_limit=3.0)
+        assert "Table 5" in result.text
+        for agg in result.data.values():
+            if agg["count"]:
+                assert agg["avg_ratio"] >= 1.0
+                assert agg["max_ratio"] >= agg["avg_ratio"] - 1e-9
+
+    def test_table6_counts_bounded(self):
+        result = table6(scale="tiny", k_values=(1,), time_limit=3.0)
+        assert "Table 6" in result.text
+        for agg in result.data.values():
+            assert 0 <= agg["num_extending_max_clique"] <= agg["count"]
+
+    def test_table7_percentages_bounded(self):
+        result = table7(scale="tiny", k_values=(1,), time_limit=3.0)
+        assert "Table 7" in result.text
+        for agg in result.data.values():
+            assert 0.0 <= agg["avg_pct_not_fully_connected"] <= 100.0
+
+
+class TestFigures:
+    def test_figure7_monotone_in_time_limit(self):
+        result = figure7(scale="tiny", k_values=(1,), time_limits=(0.05, 3.0), algorithms=("kDC", "KDBB"))
+        assert result.name == "figure7"
+        small = result.data["k=1/limit=0.05"]
+        large = result.data["k=1/limit=3.0"]
+        for algorithm in ("kDC", "KDBB"):
+            assert small[algorithm] <= large[algorithm]
+
+    def test_figure8_runs(self):
+        result = figure8(scale="tiny", k_values=(1,), time_limits=(3.0,), algorithms=("kDC",))
+        assert result.name == "figure8"
+        assert result.records
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table2", "table3", "table4", "table5", "table6", "table7", "figure7", "figure8",
+        }
+
+    def test_run_experiment_dispatch(self):
+        result = run_experiment("table4", scale="tiny", k_values=(1,))
+        assert result.name == "table4"
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("table99")

@@ -1,0 +1,141 @@
+"""Tests for the Section 6 extensions: enumeration, top-r, diversified top-r."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import enumerate_defective_cliques
+from repro.core import is_k_defective_clique, is_maximal_k_defective_clique
+from repro.exceptions import InvalidParameterError
+from repro.extensions import (
+    count_maximal_defective_cliques,
+    coverage,
+    enumerate_maximal_defective_cliques,
+    top_r_diversified_defective_cliques,
+    top_r_maximal_defective_cliques,
+)
+from repro.graphs import Graph, complete_graph, cycle_graph, gnp_random_graph, star_graph
+
+
+def _maximal_reference(graph, k):
+    """All maximal k-defective cliques via the brute-force enumerator."""
+    all_cliques = [frozenset(c) for c in enumerate_defective_cliques(graph, k)]
+    as_sets = set(all_cliques)
+    maximal = set()
+    for c in as_sets:
+        if not any(c < other for other in as_sets):
+            maximal.add(c)
+    return maximal
+
+
+class TestEnumeration:
+    def test_empty_graph(self):
+        assert list(enumerate_maximal_defective_cliques(Graph(), 1)) == []
+
+    def test_complete_graph_single_maximal(self):
+        g = complete_graph(4)
+        cliques = list(enumerate_maximal_defective_cliques(g, 0))
+        assert len(cliques) == 1
+        assert set(cliques[0]) == {0, 1, 2, 3}
+
+    def test_every_result_is_maximal(self):
+        g = gnp_random_graph(10, 0.4, seed=3)
+        for k in (0, 1, 2):
+            for clique in enumerate_maximal_defective_cliques(g, k):
+                assert is_maximal_k_defective_clique(g, clique, k)
+
+    def test_no_duplicates(self):
+        g = gnp_random_graph(10, 0.5, seed=4)
+        cliques = [frozenset(c) for c in enumerate_maximal_defective_cliques(g, 1)]
+        assert len(cliques) == len(set(cliques))
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("k", [0, 1, 2])
+    def test_matches_brute_force_reference(self, seed, k):
+        g = gnp_random_graph(8, 0.45, seed=seed)
+        expected = _maximal_reference(g, k)
+        found = {frozenset(c) for c in enumerate_maximal_defective_cliques(g, k)}
+        assert found == expected
+
+    def test_min_size_filter(self):
+        g = cycle_graph(6)
+        large = list(enumerate_maximal_defective_cliques(g, 1, min_size=3))
+        assert all(len(c) >= 3 for c in large)
+
+    def test_limit(self):
+        g = gnp_random_graph(10, 0.5, seed=7)
+        limited = list(enumerate_maximal_defective_cliques(g, 1, limit=3))
+        assert len(limited) <= 3
+
+    def test_count_helper(self):
+        g = complete_graph(3)
+        assert count_maximal_defective_cliques(g, 0) == 1
+
+
+class TestTopR:
+    def test_top_r_sizes_non_increasing(self):
+        g = gnp_random_graph(12, 0.4, seed=5)
+        cliques = top_r_maximal_defective_cliques(g, 1, r=4)
+        sizes = [len(c) for c in cliques]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_top_1_is_the_maximum(self):
+        from repro.core import find_maximum_defective_clique
+
+        g = gnp_random_graph(12, 0.4, seed=6)
+        for k in (0, 1, 2):
+            top = top_r_maximal_defective_cliques(g, k, r=1)
+            assert len(top) == 1
+            assert len(top[0]) == find_maximum_defective_clique(g, k).size
+
+    def test_results_are_maximal(self):
+        g = gnp_random_graph(10, 0.4, seed=8)
+        for clique in top_r_maximal_defective_cliques(g, 1, r=3):
+            assert is_maximal_k_defective_clique(g, clique, 1)
+
+    def test_fewer_than_r_available(self):
+        g = complete_graph(4)
+        assert len(top_r_maximal_defective_cliques(g, 0, r=5)) == 1
+
+    def test_invalid_r(self):
+        with pytest.raises(InvalidParameterError):
+            top_r_maximal_defective_cliques(complete_graph(3), 1, r=0)
+
+
+class TestDiversified:
+    def test_cliques_are_disjoint(self):
+        g = gnp_random_graph(25, 0.3, seed=9)
+        cliques = top_r_diversified_defective_cliques(g, 1, r=3)
+        seen = set()
+        for clique in cliques:
+            assert is_k_defective_clique(g, clique, 1)
+            assert not (set(clique) & seen)
+            seen.update(clique)
+
+    def test_first_clique_is_the_maximum(self):
+        from repro.core import find_maximum_defective_clique
+
+        g = gnp_random_graph(20, 0.35, seed=10)
+        cliques = top_r_diversified_defective_cliques(g, 2, r=2)
+        assert len(cliques[0]) == find_maximum_defective_clique(g, 2).size
+
+    def test_coverage_helper(self):
+        assert coverage([[1, 2], [2, 3]]) == {1, 2, 3}
+        assert coverage([]) == set()
+
+    def test_stops_when_graph_exhausted(self):
+        g = complete_graph(4)
+        cliques = top_r_diversified_defective_cliques(g, 0, r=10)
+        assert len(cliques) == 1
+        assert coverage(cliques) == {0, 1, 2, 3}
+
+    def test_star_graph_rounds(self):
+        g = star_graph(4)
+        cliques = top_r_diversified_defective_cliques(g, 0, r=10)
+        # first round takes {centre, leaf}; remaining leaves are isolated singletons
+        assert len(cliques[0]) == 2
+        assert sum(len(c) for c in cliques) == 5
+
+    def test_invalid_r(self):
+        with pytest.raises(InvalidParameterError):
+            top_r_diversified_defective_cliques(complete_graph(3), 1, r=0)

@@ -1,0 +1,74 @@
+"""Tests for the branching-factor analysis (γ_k and σ_k)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    PAPER_GAMMA_VALUES,
+    characteristic_polynomial,
+    complexity_comparison,
+    gamma,
+    sigma,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestGamma:
+    def test_values_match_paper(self):
+        """Lemma 3.4 quotes γ_0..γ_5 to three decimals.
+
+        The quoted values are rounded (γ_0 is the golden ratio 1.61803...,
+        printed as 1.619 in the paper), so the comparison allows a 2e-3 slack.
+        """
+        for k, expected in PAPER_GAMMA_VALUES.items():
+            assert gamma(k) == pytest.approx(expected, abs=2e-3)
+
+    def test_gamma_is_a_root(self):
+        for k in range(0, 12):
+            assert characteristic_polynomial(gamma(k), k) == pytest.approx(0.0, abs=1e-8)
+
+    def test_gamma_strictly_between_1_and_2(self):
+        for k in range(0, 20):
+            assert 1.0 < gamma(k) < 2.0
+
+    def test_gamma_monotone_increasing(self):
+        values = [gamma(k) for k in range(0, 15)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_gamma_approaches_2(self):
+        assert gamma(40) > 1.999
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            gamma(-1)
+        with pytest.raises(InvalidParameterError):
+            sigma(-1)
+
+
+class TestSigma:
+    def test_sigma_equals_gamma_2k(self):
+        """The paper's observation σ_k = γ_{2k}."""
+        for k in range(0, 8):
+            assert sigma(k) == pytest.approx(gamma(2 * k), abs=1e-10)
+
+    def test_kdc_bound_beats_madec_bound(self):
+        """γ_k < σ_k for every k >= 1 (the headline complexity improvement)."""
+        for k in range(1, 10):
+            assert gamma(k) < sigma(k)
+
+    def test_k0_bounds_coincide(self):
+        assert sigma(0) == pytest.approx(gamma(0))
+
+
+class TestComparison:
+    def test_comparison_rows(self):
+        rows = complexity_comparison([1, 3, 5])
+        assert [row.k for row in rows] == [1, 3, 5]
+        for row in rows:
+            assert row.gamma_k < row.sigma_k
+            assert row.base_ratio < 1.0
+            assert row.speedup_n100 > 1.0
+
+    def test_empty_comparison(self):
+        assert complexity_comparison([]) == []

@@ -1,0 +1,160 @@
+"""Tests for the graph generators (including structural properties of the synthetic workloads)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import is_k_defective_clique
+from repro.exceptions import InvalidParameterError
+from repro.graphs import (
+    barabasi_albert_graph,
+    complete_graph,
+    complete_multipartite_graph,
+    cycle_graph,
+    gnm_random_graph,
+    gnp_random_graph,
+    mesh_graph,
+    path_graph,
+    planted_defective_clique_graph,
+    powerlaw_cluster_graph,
+    relaxed_caveman_graph,
+    social_network_graph,
+    split_graph,
+    star_graph,
+    turan_graph,
+)
+
+
+class TestClassicModels:
+    def test_gnp_extremes(self):
+        assert gnp_random_graph(10, 0.0, seed=1).num_edges == 0
+        assert gnp_random_graph(10, 1.0, seed=1).num_edges == 45
+
+    def test_gnp_determinism(self):
+        a = gnp_random_graph(30, 0.3, seed=7)
+        b = gnp_random_graph(30, 0.3, seed=7)
+        assert a == b
+
+    def test_gnp_different_seeds_differ(self):
+        a = gnp_random_graph(30, 0.3, seed=7)
+        b = gnp_random_graph(30, 0.3, seed=8)
+        assert a != b
+
+    def test_gnp_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            gnp_random_graph(-1, 0.5)
+        with pytest.raises(InvalidParameterError):
+            gnp_random_graph(5, 1.5)
+
+    def test_gnm_edge_count(self):
+        g = gnm_random_graph(12, 20, seed=3)
+        assert g.num_vertices == 12
+        assert g.num_edges == 20
+
+    def test_gnm_complete(self):
+        g = gnm_random_graph(6, 15, seed=1)
+        assert g.is_clique()
+
+    def test_gnm_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            gnm_random_graph(4, 100)
+
+    def test_barabasi_albert(self):
+        g = barabasi_albert_graph(50, 3, seed=1)
+        assert g.num_vertices == 50
+        # every vertex beyond the initial star attaches m edges
+        assert g.num_edges >= 3 * (50 - 4)
+        assert min(g.degrees().values()) >= 1
+
+    def test_barabasi_albert_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            barabasi_albert_graph(3, 5)
+        with pytest.raises(InvalidParameterError):
+            barabasi_albert_graph(10, 0)
+
+    def test_powerlaw_cluster(self):
+        g = powerlaw_cluster_graph(60, 3, 0.6, seed=2)
+        assert g.num_vertices == 60
+        assert g.num_edges >= 3 * (60 - 4)
+
+    def test_relaxed_caveman(self):
+        g = relaxed_caveman_graph(4, 6, 0.1, seed=5)
+        assert g.num_vertices == 24
+        assert g.num_edges <= 4 * 15
+
+    def test_relaxed_caveman_no_rewire_is_cliques(self):
+        g = relaxed_caveman_graph(3, 5, 0.0, seed=1)
+        for c in range(3):
+            members = list(range(c * 5, (c + 1) * 5))
+            assert g.is_clique(members)
+
+
+class TestWorkloadModels:
+    def test_planted_defective_clique_contains_planted_solution(self):
+        clique_size, k = 10, 3
+        g = planted_defective_clique_graph(60, clique_size, k, background_p=0.05, seed=11)
+        planted = list(range(clique_size))
+        assert is_k_defective_clique(g, planted, k)
+        assert not is_k_defective_clique(g, planted, k - 1)
+
+    def test_planted_defective_clique_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            planted_defective_clique_graph(5, 10, 1)
+        with pytest.raises(InvalidParameterError):
+            planted_defective_clique_graph(20, 5, 100)
+
+    def test_social_network_graph(self):
+        g = social_network_graph(80, num_communities=5, seed=4)
+        assert g.num_vertices == 80
+        assert g.num_edges > 80  # communities make it denser than a tree
+
+    def test_social_network_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            social_network_graph(0)
+        with pytest.raises(InvalidParameterError):
+            social_network_graph(10, intra_p=2.0)
+
+    def test_mesh_graph(self):
+        g = mesh_graph(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # rows*(cols-1) + (rows-1)*cols
+
+    def test_split_graph(self):
+        g = split_graph(5, 10, attach_p=0.5, seed=2)
+        assert g.is_clique(range(5))
+        independent = list(range(5, 15))
+        for i, u in enumerate(independent):
+            for v in independent[i + 1:]:
+                assert not g.has_edge(u, v)
+
+
+class TestDeterministicFamilies:
+    def test_cycle_path_star_sizes(self):
+        assert cycle_graph(6).num_edges == 6
+        assert cycle_graph(2).num_edges == 1
+        assert path_graph(6).num_edges == 5
+        assert star_graph(5).num_edges == 5
+        assert complete_graph(6).num_edges == 15
+
+    def test_complete_multipartite(self):
+        g = complete_multipartite_graph([3, 3, 3])
+        assert g.num_vertices == 9
+        assert g.num_edges == 27
+        for part in ([0, 1, 2], [3, 4, 5], [6, 7, 8]):
+            for i, u in enumerate(part):
+                for v in part[i + 1:]:
+                    assert not g.has_edge(u, v)
+
+    def test_turan_graph(self):
+        g = turan_graph(7, 3)
+        assert g.num_vertices == 7
+        # parts of sizes 3, 2, 2 -> edges = 3*2 + 3*2 + 2*2 = 16
+        assert g.num_edges == 16
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            cycle_graph(-1)
+        with pytest.raises(InvalidParameterError):
+            turan_graph(5, 0)
+        with pytest.raises(InvalidParameterError):
+            complete_multipartite_graph([2, -1])

@@ -1,0 +1,102 @@
+"""Property-based tests (hypothesis) for the Graph data structure."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Graph, gnp_random_graph
+
+
+def edge_lists(max_vertices: int = 12):
+    """Strategy producing lists of edges over a small vertex range."""
+    vertex = st.integers(min_value=0, max_value=max_vertices - 1)
+    edge = st.tuples(vertex, vertex).filter(lambda e: e[0] != e[1])
+    return st.lists(edge, max_size=40)
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_edge_count_matches_edge_list(edges):
+    g = Graph(edges=edges)
+    assert g.num_edges == len(g.edges())
+    g.validate()
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_adjacency_is_symmetric(edges):
+    g = Graph(edges=edges)
+    for u in g:
+        for v in g.neighbors(u):
+            assert u in g.neighbors(v)
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_degree_sum_is_twice_edges(edges):
+    g = Graph(edges=edges)
+    assert sum(g.degrees().values()) == 2 * g.num_edges
+
+
+@given(edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_complement_of_complement_is_identity(edges):
+    g = Graph(edges=edges)
+    double = g.complement().complement()
+    assert double == g
+
+
+@given(edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_missing_plus_present_edges_is_total(edges):
+    g = Graph(edges=edges)
+    n = g.num_vertices
+    assert g.num_edges + g.missing_edge_count() == n * (n - 1) // 2
+
+
+@given(edge_lists(), st.integers(min_value=0, max_value=11))
+@settings(max_examples=40, deadline=None)
+def test_subgraph_respects_host_edges(edges, pivot):
+    g = Graph(edges=edges)
+    keep = [v for v in g if isinstance(v, int) and v <= pivot]
+    sub = g.subgraph(keep)
+    for u, v in sub.iter_edges():
+        assert g.has_edge(u, v)
+    assert set(sub.vertices()) == set(keep)
+
+
+@given(edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_relabel_preserves_structure(edges):
+    g = Graph(edges=edges)
+    relabeled, to_int, to_label = g.relabel()
+    assert relabeled.num_vertices == g.num_vertices
+    assert relabeled.num_edges == g.num_edges
+    for u, v in g.iter_edges():
+        assert relabeled.has_edge(to_int[u], to_int[v])
+    assert [to_int[label] for label in to_label] == list(range(g.num_vertices))
+
+
+@given(st.integers(min_value=0, max_value=25), st.floats(min_value=0.0, max_value=1.0),
+       st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=30, deadline=None)
+def test_gnp_density_within_bounds(n, p, seed):
+    g = gnp_random_graph(n, p, seed=seed)
+    assert g.num_vertices == n
+    assert 0 <= g.num_edges <= n * (n - 1) // 2
+    g.validate()
+
+
+@given(edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_remove_vertex_removes_incident_edges(edges):
+    g = Graph(edges=edges)
+    if g.num_vertices == 0:
+        return
+    victim = next(iter(g))
+    degree = g.degree(victim)
+    before = g.num_edges
+    g.remove_vertex(victim)
+    assert g.num_edges == before - degree
+    g.validate()

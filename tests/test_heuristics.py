@@ -1,0 +1,97 @@
+"""Tests for the Degen and Degen-opt initial-solution heuristics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import degen, degen_opt, initial_solution, is_k_defective_clique
+from repro.baselines import brute_force_maximum_defective_clique
+from repro.graphs import Graph, complete_graph, cycle_graph, gnp_random_graph, star_graph
+
+
+class TestDegen:
+    def test_empty_graph(self):
+        assert degen(Graph(), 1) == []
+
+    def test_complete_graph_returns_everything(self):
+        g = complete_graph(6)
+        assert len(degen(g, 0)) == 6
+
+    def test_clique_plus_pendant(self):
+        g = complete_graph(5)
+        g.add_edge(0, 5)
+        solution = degen(g, 0)
+        assert len(solution) == 5
+        assert g.is_clique(solution)
+
+    def test_result_is_valid_defective_clique(self):
+        for seed in range(5):
+            g = gnp_random_graph(30, 0.3, seed=seed)
+            for k in (0, 1, 3):
+                solution = degen(g, k)
+                assert is_k_defective_clique(g, solution, k)
+                assert len(solution) >= 1
+
+    def test_larger_k_never_shrinks_solution(self):
+        g = gnp_random_graph(25, 0.3, seed=3)
+        sizes = [len(degen(g, k)) for k in range(0, 6)]
+        assert all(a <= b for a, b in zip(sizes, sizes[1:]))
+
+    def test_star_graph(self):
+        g = star_graph(5)
+        assert len(degen(g, 0)) == 2  # centre + one leaf
+        assert len(degen(g, 1)) == 3
+
+
+class TestDegenOpt:
+    def test_empty_graph(self):
+        assert degen_opt(Graph(), 2) == []
+
+    def test_result_is_valid_defective_clique(self):
+        for seed in range(5):
+            g = gnp_random_graph(30, 0.3, seed=seed)
+            for k in (0, 1, 3):
+                solution = degen_opt(g, k)
+                assert is_k_defective_clique(g, solution, k)
+
+    def test_never_worse_than_degen(self):
+        for seed in range(8):
+            g = gnp_random_graph(30, 0.25, seed=seed)
+            for k in (0, 1, 2):
+                assert len(degen_opt(g, k)) >= len(degen(g, k))
+
+    def test_figure6_degen_opt_quality(self, fig6):
+        solution = degen_opt(fig6, 1)
+        assert is_k_defective_clique(fig6, solution, 1)
+        # The maximum 1-defective clique of the example has size 4; Degen-opt
+        # must get within one vertex of it on this instance (and no heuristic
+        # can exceed it).
+        assert 3 <= len(solution) <= 4
+
+    @given(st.integers(min_value=1, max_value=12), st.floats(min_value=0.1, max_value=0.9),
+           st.integers(min_value=0, max_value=300), st.integers(min_value=0, max_value=3))
+    @settings(max_examples=40, deadline=None)
+    def test_heuristics_are_lower_bounds(self, n, p, seed, k):
+        """Both heuristics return feasible solutions, hence lower bounds on the optimum."""
+        g = gnp_random_graph(n, p, seed=seed)
+        optimum = len(brute_force_maximum_defective_clique(g, k))
+        d = degen(g, k)
+        do = degen_opt(g, k)
+        assert is_k_defective_clique(g, d, k)
+        assert is_k_defective_clique(g, do, k)
+        assert len(d) <= optimum
+        assert len(do) <= optimum
+
+
+class TestDispatch:
+    def test_initial_solution_methods(self):
+        g = complete_graph(4)
+        assert initial_solution(g, 1, "none") == []
+        assert len(initial_solution(g, 1, "degen")) == 4
+        assert len(initial_solution(g, 1, "degen-opt")) == 4
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            initial_solution(complete_graph(3), 1, "magic")

@@ -1,0 +1,120 @@
+"""Tests for the branch-and-bound SearchState bookkeeping."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SearchState
+from repro.graphs import complete_graph, cycle_graph, gnp_random_graph
+
+
+def _adjacency(graph):
+    return [set(graph.neighbors(v)) for v in range(graph.num_vertices)]
+
+
+class TestInitialState:
+    def test_initial_state_of_complete_graph(self):
+        g = complete_graph(4)
+        state = SearchState.initial(_adjacency(g), k=1)
+        assert state.graph_size == 4
+        assert state.instance_size == 4
+        assert state.solution == []
+        assert state.missing_in_solution == 0
+        assert state.total_edges() == 6
+        assert state.total_missing() == 0
+        assert state.is_defective_clique()
+        state.check_invariants()
+
+    def test_initial_state_with_subset(self):
+        g = complete_graph(5)
+        state = SearchState.initial(_adjacency(g), k=0, vertices={0, 1, 2})
+        assert state.graph_size == 3
+        assert state.total_edges() == 3
+        state.check_invariants()
+
+    def test_missing_counts_on_cycle(self):
+        g = cycle_graph(5)
+        state = SearchState.initial(_adjacency(g), k=2)
+        assert state.total_missing() == 5  # C(5,2) - 5 edges
+        assert not state.is_defective_clique()
+
+
+class TestTransitions:
+    def test_add_to_solution_updates_counters(self):
+        g = cycle_graph(4)
+        state = SearchState.initial(_adjacency(g), k=2)
+        state.add_to_solution(0)
+        assert state.solution == [0]
+        assert state.missing_in_solution == 0
+        assert state.non_nbrs_in_solution[2] == 1  # 2 is the non-neighbour of 0
+        assert state.non_nbrs_in_solution[1] == 0
+        state.add_to_solution(2)
+        assert state.missing_in_solution == 1
+        assert state.missing_if_added(1) == 1
+        state.check_invariants()
+        assert state.last_added == 2
+
+    def test_remove_candidate_updates_degrees(self):
+        g = complete_graph(4)
+        state = SearchState.initial(_adjacency(g), k=0)
+        state.remove_candidate(3)
+        assert state.graph_size == 3
+        assert all(state.degree_in_graph[v] == 2 for v in (0, 1, 2))
+        assert 3 not in state.degree_in_graph
+        state.check_invariants()
+
+    def test_slack(self):
+        g = cycle_graph(4)
+        state = SearchState.initial(_adjacency(g), k=3)
+        state.add_to_solution(0)
+        state.add_to_solution(2)
+        assert state.slack() == 2
+
+    def test_copy_is_independent(self):
+        g = complete_graph(4)
+        state = SearchState.initial(_adjacency(g), k=1)
+        clone = state.copy()
+        clone.add_to_solution(0)
+        clone.remove_candidate(1)
+        assert state.solution == []
+        assert 1 in state.candidates
+        state.check_invariants()
+        clone.check_invariants()
+
+    def test_graph_vertices_lists_solution_and_candidates(self):
+        g = complete_graph(3)
+        state = SearchState.initial(_adjacency(g), k=0)
+        state.add_to_solution(1)
+        assert set(state.graph_vertices()) == {0, 1, 2}
+
+
+class TestInvariantProperties:
+    @given(st.integers(min_value=1, max_value=12), st.floats(min_value=0.0, max_value=1.0),
+           st.integers(min_value=0, max_value=500), st.integers(min_value=0, max_value=4),
+           st.integers(min_value=0, max_value=2**30))
+    @settings(max_examples=50, deadline=None)
+    def test_random_transition_sequences_preserve_invariants(self, n, p, seed, k, op_seed):
+        """Apply a random mix of add/remove operations and re-derive all cached state."""
+        g = gnp_random_graph(n, p, seed=seed)
+        state = SearchState.initial(_adjacency(g), k=k)
+        rng = random.Random(op_seed)
+        for _ in range(min(10, n)):
+            if not state.candidates:
+                break
+            v = rng.choice(sorted(state.candidates))
+            if rng.random() < 0.5:
+                state.add_to_solution(v)
+            else:
+                state.remove_candidate(v)
+            state.check_invariants()
+        # total_missing must agree with a from-scratch count over the instance graph
+        vertices = state.graph_vertices()
+        missing = 0
+        for i, u in enumerate(vertices):
+            for w in vertices[i + 1:]:
+                if w not in g.neighbors(u):
+                    missing += 1
+        assert missing == state.total_missing()

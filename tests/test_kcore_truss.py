@@ -1,0 +1,139 @@
+"""Tests for k-core and k-truss extraction."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    core_reduce_in_place,
+    cycle_graph,
+    edge_support,
+    gnp_random_graph,
+    k_core,
+    k_core_vertices,
+    k_truss,
+    k_truss_edges,
+    star_graph,
+    truss_reduce_in_place,
+)
+
+
+class TestKCore:
+    def test_kcore_of_complete_graph(self):
+        g = complete_graph(5)
+        assert k_core_vertices(g, 4) == set(range(5))
+        assert k_core_vertices(g, 5) == set()
+
+    def test_kcore_zero_returns_everything(self):
+        g = star_graph(4)
+        assert k_core_vertices(g, 0) == g.vertex_set()
+        assert k_core_vertices(g, -3) == g.vertex_set()
+
+    def test_star_has_no_2core(self):
+        g = star_graph(5)
+        assert k_core_vertices(g, 2) == set()
+
+    def test_cycle_is_its_own_2core(self):
+        g = cycle_graph(6)
+        assert k_core_vertices(g, 2) == g.vertex_set()
+        assert k_core_vertices(g, 3) == set()
+
+    def test_figure2_cores(self, fig2):
+        # Paper: the entire graph is a 3-core; removing v7 gives a 4-core.
+        assert k_core_vertices(fig2, 3) == fig2.vertex_set()
+        assert k_core_vertices(fig2, 4) == fig2.vertex_set() - {7}
+        assert k_core_vertices(fig2, 5) == set()
+
+    def test_kcore_returns_induced_subgraph(self):
+        g = complete_graph(4)
+        g.add_edge(0, 4)  # pendant
+        core = k_core(g, 3)
+        assert core.vertex_set() == {0, 1, 2, 3}
+        assert core.num_edges == 6
+
+    def test_core_reduce_in_place(self):
+        g = complete_graph(4)
+        g.add_edge(0, 4)
+        removed = core_reduce_in_place(g, 3)
+        assert removed == {4}
+        assert g.num_vertices == 4
+
+    def test_kcore_minimum_degree_property(self):
+        g = gnp_random_graph(40, 0.15, seed=3)
+        for k in (1, 2, 3, 4):
+            core = k_core(g, k)
+            for v in core:
+                assert core.degree(v) >= k
+
+    def test_kcore_is_maximal(self):
+        # No vertex outside the k-core can be added while keeping min degree >= k:
+        # verify by checking that the peeling of the complement eventually
+        # empties, i.e. re-running extraction on the full graph is idempotent.
+        g = gnp_random_graph(40, 0.2, seed=4)
+        core1 = k_core_vertices(g, 3)
+        core2 = k_core_vertices(g.subgraph(core1), 3)
+        assert core1 == core2
+
+
+class TestKTruss:
+    def test_truss_of_complete_graph(self):
+        g = complete_graph(5)
+        # Every edge of K5 lies in 3 triangles, so the 5-truss is the whole graph.
+        assert len(k_truss_edges(g, 5)) == 10
+        assert k_truss_edges(g, 6) == set()
+
+    def test_truss_small_k_keeps_all_edges(self):
+        g = cycle_graph(5)
+        assert len(k_truss_edges(g, 2)) == g.num_edges
+        assert len(k_truss_edges(g, 0)) == g.num_edges
+
+    def test_triangle_free_graph_has_no_3truss(self):
+        g = cycle_graph(6)
+        assert k_truss_edges(g, 3) == set()
+
+    def test_figure2_truss_structure(self, fig2):
+        # Paper: the whole graph is a 3-truss; the 4-truss removes v7's edges;
+        # the subgraph on {v8..v12} is a 5-truss.
+        assert len(k_truss_edges(fig2, 3)) == fig2.num_edges
+        four_truss = k_truss(fig2, 4)
+        assert 7 not in four_truss.vertex_set()
+        five_truss = k_truss(fig2, 5)
+        assert five_truss.vertex_set() == {8, 9, 10, 11, 12}
+
+    def test_edge_support_counts_triangles(self):
+        g = complete_graph(4)
+        support = edge_support(g)
+        assert all(value == 2 for value in support.values())
+
+    def test_truss_support_property(self):
+        g = gnp_random_graph(30, 0.3, seed=5)
+        for k in (3, 4):
+            truss = k_truss(g, k)
+            for u, v in truss.iter_edges():
+                assert len(truss.common_neighbors(u, v)) >= k - 2
+
+    def test_truss_is_subgraph_of_core(self):
+        g = gnp_random_graph(30, 0.3, seed=6)
+        truss_vertices = k_truss(g, 4).vertex_set()
+        core_vertices = k_core_vertices(g, 3)
+        assert truss_vertices <= core_vertices
+
+    def test_truss_reduce_in_place(self):
+        g = complete_graph(4)
+        g.add_edge(0, 4)  # edge in no triangle
+        removed = truss_reduce_in_place(g, 3)
+        assert removed == 1
+        assert not g.has_vertex(4)
+        assert g.num_edges == 6
+
+    @given(st.integers(min_value=1, max_value=16), st.floats(min_value=0.0, max_value=0.8),
+           st.integers(min_value=0, max_value=500), st.integers(min_value=3, max_value=5))
+    @settings(max_examples=25, deadline=None)
+    def test_truss_idempotent(self, n, p, seed, k):
+        g = gnp_random_graph(n, p, seed=seed)
+        once = k_truss(g, k)
+        twice = k_truss(once, k)
+        assert set(map(frozenset, once.iter_edges())) == set(map(frozenset, twice.iter_edges()))

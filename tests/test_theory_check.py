@@ -1,0 +1,80 @@
+"""Empirical validation of the complexity analysis (Lemma 3.3, Fact 3, Theorem 3.5)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import check_node_count_bound, trace_left_spine
+from repro.graphs import complete_graph, gnp_random_graph, social_network_graph
+
+
+class TestLeftSpine:
+    def test_complete_graph_is_an_immediate_leaf(self):
+        trace = trace_left_spine(complete_graph(6), k=1)
+        assert trace.ended_at_leaf
+        assert trace.branchings_before_shrink == 0
+
+    def test_fact3_bound_on_random_graphs(self):
+        """Fact 3 of Lemma 3.4: at most k + 1 left branches before the instance shrinks by >= 2."""
+        for seed in range(10):
+            for k in (0, 1, 2, 3):
+                g = gnp_random_graph(20, 0.4, seed=seed)
+                trace = trace_left_spine(g, k)
+                if trace.ended_at_leaf:
+                    continue
+                assert trace.branchings_before_shrink <= k + 1, (
+                    f"seed={seed} k={k}: left spine had {trace.branchings_before_shrink} branchings"
+                )
+
+    def test_fact3_bound_on_community_graphs(self):
+        for seed in range(4):
+            g = social_network_graph(70, num_communities=5, intra_p=0.5, seed=seed)
+            for k in (1, 2, 4):
+                trace = trace_left_spine(g, k)
+                if not trace.ended_at_leaf:
+                    assert trace.branchings_before_shrink <= k + 1
+
+    @given(st.integers(min_value=2, max_value=16), st.floats(min_value=0.1, max_value=0.9),
+           st.integers(min_value=0, max_value=500), st.integers(min_value=0, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_fact3_bound_property(self, n, p, seed, k):
+        g = gnp_random_graph(n, p, seed=seed)
+        trace = trace_left_spine(g, k)
+        if not trace.ended_at_leaf:
+            assert trace.branchings_before_shrink <= k + 1
+
+    def test_sizes_recorded(self):
+        g = gnp_random_graph(15, 0.5, seed=1)
+        trace = trace_left_spine(g, 1)
+        assert trace.sizes
+        assert all(size >= 0 for size in trace.sizes)
+        # instance sizes never increase along the spine
+        assert all(b <= a for a, b in zip(trace.sizes, trace.sizes[1:]))
+
+
+class TestNodeCountBound:
+    @pytest.mark.parametrize("k", [0, 1, 2])
+    def test_theorem_3_5_bound_holds(self, k):
+        """The kDC-t search tree never exceeds 2·γ_k^n nodes (Theorem 3.5)."""
+        for seed in range(5):
+            g = gnp_random_graph(12, 0.5, seed=seed)
+            check = check_node_count_bound(g, k)
+            assert check.within_bound
+            assert check.measured_nodes >= 1
+            assert 1.0 < check.gamma_k < 2.0
+
+    def test_bound_grows_with_k(self):
+        g = gnp_random_graph(12, 0.5, seed=3)
+        bounds = [check_node_count_bound(g, k).node_bound for k in (0, 1, 2, 3)]
+        assert all(a < b for a, b in zip(bounds, bounds[1:]))
+
+    def test_practical_solver_far_below_bound(self):
+        from repro.core import SolverConfig
+
+        g = gnp_random_graph(18, 0.4, seed=7)
+        check = check_node_count_bound(g, 2, config=SolverConfig())
+        assert check.within_bound
+        # the practical solver should be *dramatically* below the bound
+        assert check.measured_nodes < check.node_bound / 1000
