@@ -9,7 +9,7 @@ those records for any of the registered algorithms.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dataclass_replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..baselines.kdbb import KDBBSolver
@@ -44,16 +44,29 @@ ALGORITHMS = (
 )
 
 
-def make_solver(name: str, time_limit: Optional[float] = None, node_limit: Optional[int] = None):
+def make_solver(
+    name: str,
+    time_limit: Optional[float] = None,
+    node_limit: Optional[int] = None,
+    backend: Optional[str] = None,
+):
     """Instantiate a solver by its paper name.
 
     ``kDC`` and its ablation variants map to :class:`KDCSolver` configured via
     :func:`~repro.core.config.variant_config`; ``KDBB`` and ``MADEC`` map to
     the baseline reimplementations.
+
+    ``backend`` overrides the search-state backend of the kDC variants
+    (``"auto"``, ``"set"`` or ``"bitset"``); the baselines have a single
+    implementation and reject any explicit backend.
     """
     if name in ("KDBB",):
+        if backend is not None:
+            raise InvalidParameterError("backend selection only applies to the kDC variants")
         return KDBBSolver(time_limit=time_limit, node_limit=node_limit)
     if name in ("MADEC", "MADEC+"):
+        if backend is not None:
+            raise InvalidParameterError("backend selection only applies to the kDC variants")
         return MADECSolver(time_limit=time_limit, node_limit=node_limit)
     try:
         config = variant_config(name, time_limit=time_limit, node_limit=node_limit)
@@ -61,6 +74,8 @@ def make_solver(name: str, time_limit: Optional[float] = None, node_limit: Optio
         raise InvalidParameterError(
             f"unknown algorithm {name!r}; expected one of {', '.join(ALGORITHMS)}"
         ) from exc
+    if backend is not None:
+        config = dataclass_replace(config, backend=backend)
     return KDCSolver(config, name=name)
 
 
@@ -76,6 +91,9 @@ class InstanceRecord:
     size: int
     elapsed_seconds: float
     nodes: int
+    #: search-state backend that ran ("" for the baselines or when the solve
+    #: was interrupted before the search phase)
+    backend: str = ""
 
     def as_dict(self) -> Dict[str, object]:
         """Return the record as a flat dictionary (for CSV-style reporting)."""
@@ -88,6 +106,7 @@ class InstanceRecord:
             "size": self.size,
             "elapsed_seconds": self.elapsed_seconds,
             "nodes": self.nodes,
+            "backend": self.backend,
         }
 
 
@@ -98,9 +117,15 @@ def run_instance(
     time_limit: Optional[float],
     collection: str = "",
     instance: str = "",
+    backend: Optional[str] = None,
 ) -> InstanceRecord:
-    """Run one algorithm on one graph for one ``k`` under a time limit."""
-    solver = make_solver(algorithm, time_limit=time_limit)
+    """Run one algorithm on one graph for one ``k`` under a time limit.
+
+    ``backend`` optionally forces the kDC search-state backend; the backend
+    that actually ran (resolved from ``"auto"`` by the solver) is recorded on
+    the returned record.
+    """
+    solver = make_solver(algorithm, time_limit=time_limit, backend=backend)
     start = time.perf_counter()
     result: SolveResult = solver.solve(graph, k)
     elapsed = time.perf_counter() - start
@@ -113,6 +138,7 @@ def run_instance(
         size=result.size,
         elapsed_seconds=elapsed,
         nodes=result.stats.nodes,
+        backend=result.stats.backend,
     )
 
 

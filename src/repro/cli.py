@@ -2,7 +2,9 @@
 
 Sub-commands
 ------------
-* ``solve``       — find a maximum k-defective clique of a graph file;
+* ``solve``       — find a maximum k-defective clique of a graph file
+  (``--backend set|bitset|auto`` selects the search-state backend; the
+  bitset backend adds a degeneracy decomposition on large instances);
 * ``compare``     — run several algorithms on one graph and tabulate them;
 * ``top-r``       — top-r maximal or diversified k-defective cliques;
 * ``properties``  — Tables 5–7 style analysis of one graph;
@@ -22,6 +24,7 @@ from typing import List, Optional
 from .analysis.properties import analyze_graph
 from .bench.experiments import EXPERIMENTS, run_experiment
 from .bench.harness import ALGORITHMS, make_solver, run_instance
+from .core.config import BACKEND_NAMES
 from .bench.reporting import format_table
 from .core.gamma import complexity_comparison
 from .datasets.collections import COLLECTION_NAMES, SCALES, get_collection
@@ -52,6 +55,14 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--time-limit", type=float, default=None, help="wall-clock budget in seconds")
     solve.add_argument("--format", default="auto", choices=["auto", "edgelist", "dimacs", "metis"])
     solve.add_argument("--show-vertices", action="store_true", help="print the clique's vertices")
+    solve.add_argument(
+        "--backend",
+        default=None,
+        choices=list(BACKEND_NAMES),
+        help="search-state backend for the kDC variants: 'set' (dict/set states), "
+        "'bitset' (packed adjacency bitmaps + degeneracy decomposition on large "
+        "instances), or 'auto' (pick by reduced instance size; the default)",
+    )
 
     compare = subparsers.add_parser("compare", help="run several algorithms on one graph and tabulate them")
     compare.add_argument("path")
@@ -101,7 +112,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     graph = load_graph(args.path, fmt=args.format)
-    solver = make_solver(args.algorithm, time_limit=args.time_limit)
+    solver = make_solver(args.algorithm, time_limit=args.time_limit, backend=args.backend)
     result = solver.solve(graph, args.k)
     print(result.summary())
     if args.show_vertices:

@@ -6,6 +6,7 @@ initial-solution heuristics (Degen, Degen-opt), the branch-and-bound solver
 itself, and the branching-factor analysis (γ_k / σ_k).
 """
 
+from .bitset_state import BitsetSearchState
 from .bounds import (
     best_upper_bound,
     color_candidates,
@@ -15,7 +16,16 @@ from .bounds import (
     ub3_degree_sequence,
 )
 from .branching import select_branching_vertex
-from .config import VARIANT_NAMES, SolverConfig, variant_config
+from .config import BACKEND_NAMES, VARIANT_NAMES, SolverConfig, variant_config
+from .decompose import solve_decomposed
+from .fastpath import (
+    BitsetEngine,
+    bitset_apply_reductions,
+    bitset_select_branching_vertex,
+    bitset_ub1_improved_coloring,
+    bitset_ub2_min_degree,
+    bitset_ub3_degree_sequence,
+)
 from .defective import (
     defect,
     is_k_defective_clique,
@@ -53,9 +63,18 @@ __all__ = [
     "SolverConfig",
     "variant_config",
     "VARIANT_NAMES",
+    "BACKEND_NAMES",
     "SolveResult",
     "SearchStats",
     "SearchState",
+    "BitsetSearchState",
+    "BitsetEngine",
+    "bitset_apply_reductions",
+    "bitset_select_branching_vertex",
+    "bitset_ub1_improved_coloring",
+    "bitset_ub2_min_degree",
+    "bitset_ub3_degree_sequence",
+    "solve_decomposed",
     "select_branching_vertex",
     "apply_reductions",
     "apply_rr1",

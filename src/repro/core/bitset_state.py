@@ -1,0 +1,269 @@
+"""Bitset-backed branch-and-bound state: the fast-path twin of :class:`SearchState`.
+
+This mirrors the public API of :class:`~repro.core.instance.SearchState`, but
+every vertex set — the candidate set, the partial solution and the adjacency
+rows — is stored as an arbitrary-precision Python ``int`` used as a bitmask
+(bit ``v`` set ⇔ vertex ``v`` is in the set).  That turns the operations the
+solver performs at every node into word-parallel integer arithmetic:
+
+* copying a state is a flat ``list`` copy plus a handful of ``int``
+  references instead of three dict/set deep copies;
+* degrees are ``(adj[v] & verts).bit_count()`` popcounts;
+* neighbourhood intersections (RR4, UB1's coloring, the decomposition's
+  candidate filters) are single ``&`` operations over n-bit words.
+
+States built over a *local* vertex universe (e.g. one ego subproblem of the
+degeneracy decomposition) use masks only as wide as the subproblem, which is
+what makes the decomposition driver in :mod:`repro.core.decompose` scale to
+graphs far larger than the set-based backend can handle.
+
+The invariants maintained are exactly those of ``SearchState``:
+
+* ``missing_in_solution`` — number of non-edges inside ``S``;
+* ``non_nbrs[v]`` — for every candidate ``v``, ``|\\bar{N}_S(v)|``;
+* ``edges_in_graph`` — number of edges of the instance graph (kept
+  incrementally so the leaf test is O(1)).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+__all__ = ["BitsetSearchState", "iter_bits", "bits_of", "mask_of"]
+
+
+def mask_of(vertices) -> int:
+    """Return the bitmask with exactly the bits of ``vertices`` set."""
+    mask = 0
+    for v in vertices:
+        mask |= 1 << v
+    return mask
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Iterate over the set bit positions of ``mask`` in increasing order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+#: ``_BYTE_BITS[b]`` lists the set bit offsets of the byte value ``b``.
+_BYTE_BITS = tuple(tuple(i for i in range(8) if (b >> i) & 1) for b in range(256))
+
+
+def bits_of(mask: int) -> List[int]:
+    """Return the set bit positions of ``mask`` as a list (increasing order).
+
+    Uses a byte-level lookup table over ``int.to_bytes`` instead of repeated
+    lowest-bit extraction: iterating the bytes object is a C-level loop, so
+    the per-element cost is several times lower than the ``mask & -mask``
+    idiom.  This is the workhorse of every candidate scan in
+    :mod:`repro.core.fastpath`.
+    """
+    if not mask:
+        return []
+    out: List[int] = []
+    append = out.append
+    base = 0
+    byte_bits = _BYTE_BITS
+    for byte in mask.to_bytes((mask.bit_length() + 7) >> 3, "little"):
+        if byte:
+            for offset in byte_bits[byte]:
+                append(base + offset)
+        base += 8
+    return out
+
+
+class BitsetSearchState:
+    """Mutable branch-and-bound instance ``(g, S)`` over packed adjacency bitmaps.
+
+    Parameters mirror :class:`~repro.core.instance.SearchState`; vertex ids
+    must be integers in ``range(len(adj))``.  The ``adj`` list is shared
+    (never mutated) by every state derived from the same root.
+    """
+
+    __slots__ = (
+        "adj",
+        "k",
+        "solution",
+        "solution_bits",
+        "cand_bits",
+        "missing_in_solution",
+        "non_nbrs",
+        "edges_in_graph",
+        "last_added",
+    )
+
+    def __init__(
+        self,
+        adj: Sequence[int],
+        k: int,
+        solution: List[int],
+        solution_bits: int,
+        cand_bits: int,
+        missing_in_solution: int,
+        non_nbrs: List[int],
+        edges_in_graph: int,
+        last_added: Optional[int],
+    ) -> None:
+        self.adj = adj
+        self.k = k
+        self.solution = solution
+        self.solution_bits = solution_bits
+        self.cand_bits = cand_bits
+        self.missing_in_solution = missing_in_solution
+        self.non_nbrs = non_nbrs
+        self.edges_in_graph = edges_in_graph
+        self.last_added = last_added
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def initial(cls, adj: Sequence[int], k: int, vertices_bits: Optional[int] = None) -> "BitsetSearchState":
+        """Build the root instance ``(G, ∅)``.
+
+        Parameters
+        ----------
+        adj:
+            Packed adjacency rows indexed by integer vertex id; ``adj[v]``
+            has bit ``u`` set iff ``(u, v)`` is an edge.  Shared, never
+            mutated.
+        k:
+            Defectiveness parameter.
+        vertices_bits:
+            Optional bitmask of the vertex ids forming the instance graph;
+            defaults to all of ``range(len(adj))``.
+        """
+        if vertices_bits is None:
+            vertices_bits = (1 << len(adj)) - 1
+        edges = sum((adj[v] & vertices_bits).bit_count() for v in bits_of(vertices_bits)) // 2
+        return cls(
+            adj=adj,
+            k=k,
+            solution=[],
+            solution_bits=0,
+            cand_bits=vertices_bits,
+            missing_in_solution=0,
+            non_nbrs=[0] * len(adj),
+            edges_in_graph=edges,
+            last_added=None,
+        )
+
+    def copy(self) -> "BitsetSearchState":
+        """Return an independent copy sharing only the immutable adjacency rows."""
+        return BitsetSearchState(
+            adj=self.adj,
+            k=self.k,
+            solution=list(self.solution),
+            solution_bits=self.solution_bits,
+            cand_bits=self.cand_bits,
+            missing_in_solution=self.missing_in_solution,
+            non_nbrs=list(self.non_nbrs),
+            edges_in_graph=self.edges_in_graph,
+            last_added=self.last_added,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Size / structure queries
+    # ------------------------------------------------------------------ #
+    @property
+    def verts_bits(self) -> int:
+        """Bitmask of every vertex of the instance graph ``g``."""
+        return self.solution_bits | self.cand_bits
+
+    @property
+    def graph_size(self) -> int:
+        """Number of vertices of the instance graph ``g``."""
+        return (self.solution_bits | self.cand_bits).bit_count()
+
+    @property
+    def instance_size(self) -> int:
+        """The measure ``|I| = |V(g) \\ S|`` used by the complexity analysis."""
+        return self.cand_bits.bit_count()
+
+    def graph_vertices(self) -> List[int]:
+        """Return all vertices of the instance graph (solution first, then candidates)."""
+        return self.solution + bits_of(self.cand_bits)
+
+    def degree(self, v: int) -> int:
+        """Degree of ``v`` inside the instance graph (one popcount)."""
+        return (self.adj[v] & (self.solution_bits | self.cand_bits)).bit_count()
+
+    def total_edges(self) -> int:
+        """Number of edges of the instance graph (maintained incrementally)."""
+        return self.edges_in_graph
+
+    def total_missing(self) -> int:
+        """Number of non-edges of the whole instance graph ``g``."""
+        n = self.graph_size
+        return n * (n - 1) // 2 - self.edges_in_graph
+
+    def is_defective_clique(self) -> bool:
+        """``True`` iff the entire instance graph is a k-defective clique (leaf test)."""
+        return self.total_missing() <= self.k
+
+    def missing_if_added(self, v: int) -> int:
+        """Return ``|\\bar{E}(S ∪ v)|`` for a candidate ``v`` in O(1)."""
+        return self.missing_in_solution + self.non_nbrs[v]
+
+    def slack(self) -> int:
+        """Return ``k - |\\bar{E}(S)|``: missing edges the solution may still absorb."""
+        return self.k - self.missing_in_solution
+
+    # ------------------------------------------------------------------ #
+    # Transitions
+    # ------------------------------------------------------------------ #
+    def add_to_solution(self, v: int) -> None:
+        """Move candidate ``v`` into the partial solution ``S``.
+
+        O(|candidates| \\ N(v)) bit iteration to bump the non-neighbour
+        counters, everything else word-parallel.
+        """
+        bit = 1 << v
+        self.cand_bits &= ~bit
+        self.solution_bits |= bit
+        self.solution.append(v)
+        self.missing_in_solution += self.non_nbrs[v]
+        non_nbrs = self.non_nbrs
+        for u in bits_of(self.cand_bits & ~self.adj[v]):
+            non_nbrs[u] += 1
+        self.last_added = v
+
+    def remove_candidate(self, v: int) -> None:
+        """Delete candidate ``v`` from the instance graph ``g`` (one popcount)."""
+        bit = 1 << v
+        self.edges_in_graph -= (self.adj[v] & (self.solution_bits | self.cand_bits & ~bit)).bit_count()
+        self.cand_bits &= ~bit
+
+    # ------------------------------------------------------------------ #
+    # Invariant checking (used by tests)
+    # ------------------------------------------------------------------ #
+    def check_invariants(self) -> None:
+        """Recompute every cached quantity from scratch and assert it matches.
+
+        Mirrors :meth:`SearchState.check_invariants`; intended exclusively
+        for tests, never called on the hot path.
+        """
+        assert self.solution_bits == mask_of(self.solution), "solution_bits out of sync with solution list"
+        assert not (self.solution_bits & self.cand_bits), "solution and candidates overlap"
+        verts = self.solution_bits | self.cand_bits
+        edges = sum((self.adj[v] & verts).bit_count() for v in iter_bits(verts)) // 2
+        assert edges == self.edges_in_graph, (
+            f"edge count mismatch: cached {self.edges_in_graph}, actual {edges}"
+        )
+        sol = self.solution
+        missing = 0
+        for i, u in enumerate(sol):
+            for w in sol[i + 1:]:
+                if not (self.adj[u] >> w) & 1:
+                    missing += 1
+        assert missing == self.missing_in_solution, (
+            f"missing_in_solution mismatch: cached {self.missing_in_solution}, actual {missing}"
+        )
+        for v in iter_bits(self.cand_bits):
+            expected = (self.solution_bits & ~self.adj[v]).bit_count()
+            assert self.non_nbrs[v] == expected, (
+                f"non_nbrs mismatch for {v}: cached {self.non_nbrs[v]}, actual {expected}"
+            )

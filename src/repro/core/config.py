@@ -16,7 +16,10 @@ from typing import Dict, Optional
 
 from ..exceptions import InvalidParameterError
 
-__all__ = ["SolverConfig", "variant_config", "VARIANT_NAMES"]
+__all__ = ["SolverConfig", "variant_config", "VARIANT_NAMES", "BACKEND_NAMES"]
+
+#: Search-state backends accepted by :attr:`SolverConfig.backend`.
+BACKEND_NAMES = ("auto", "set", "bitset")
 
 #: The solver variants evaluated in the paper's experiments.
 VARIANT_NAMES = (
@@ -55,6 +58,14 @@ class SolverConfig:
     use_rr6: bool = True
     #: initial solution heuristic: "degen-opt" (Algorithm 4), "degen" (Algorithm 3), or "none"
     initial_heuristic: str = "degen-opt"
+    #: search-state backend: "set" (dict/set SearchState), "bitset" (packed
+    #: adjacency bitmaps, see :mod:`repro.core.fastpath`), or "auto" (pick by
+    #: instance size after preprocessing)
+    backend: str = "auto"
+    #: minimum number of (reduced) vertices before the bitset backend switches
+    #: from one whole-graph search to the degeneracy decomposition of
+    #: :mod:`repro.core.decompose`
+    decompose_threshold: int = 128
     #: wall-clock budget in seconds (None = unlimited)
     time_limit: Optional[float] = None
     #: branch-and-bound node budget (None = unlimited)
@@ -65,6 +76,12 @@ class SolverConfig:
             raise InvalidParameterError(
                 f"initial_heuristic must be 'degen-opt', 'degen' or 'none', got {self.initial_heuristic!r}"
             )
+        if self.backend not in BACKEND_NAMES:
+            raise InvalidParameterError(
+                f"backend must be one of {', '.join(BACKEND_NAMES)}, got {self.backend!r}"
+            )
+        if self.decompose_threshold < 1:
+            raise InvalidParameterError("decompose_threshold must be a positive integer")
         if self.time_limit is not None and self.time_limit <= 0:
             raise InvalidParameterError("time_limit must be positive or None")
         if self.node_limit is not None and self.node_limit <= 0:

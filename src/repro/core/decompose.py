@@ -1,0 +1,122 @@
+"""Degeneracy decomposition driver for the bitset backend.
+
+Instead of branching on the whole (reduced) input graph, large sparse graphs
+are split into one small *ego subproblem* per vertex, following the way the
+paper's implementation scales to million-edge SNAP/DIMACS10 inputs:
+
+1. compute a degeneracy ordering ``v_1, ..., v_n`` (reusing
+   :func:`repro.graphs.degeneracy.degeneracy_ordering`);
+2. for each vertex ``v``, solve for the best solution that contains ``v`` as
+   its *lowest-ranked* vertex.  Such a solution lives inside ``{v} ∪ N⁺(v) ∪
+   N(N⁺(v))`` restricted to higher-ranked vertices, so the subproblem width
+   is bounded by roughly ``degeneracy + k`` after filtering;
+3. thread one shared incumbent through every subproblem: each engine run
+   starts from the current global lower bound, so RR5/UB pruning kills most
+   subproblems before any branching happens.
+
+Safety of the candidate restriction rests on the diameter-2 property of
+k-defective cliques [Chen et al. 2021]: any k-defective clique ``S`` with
+``|S| >= k + 2`` is connected with diameter at most 2, hence every
+``u ∈ S \\ {v}`` non-adjacent to ``v`` has a common neighbour with ``v``
+*inside* ``S`` — and that witness is a higher-ranked neighbour of ``v``.
+Moreover ``u`` and ``v`` each waste at most ``k - 1`` further missing edges
+inside ``S``, so ``u`` must have at least ``|S| - 2k`` common neighbours with
+``v``; both facts prune the two-hop candidate set.
+
+The driver therefore only searches for solutions of size ``>= lb + 1`` where
+``lb >= k + 1`` (so ``lb + 1 >= k + 2``).  Callers must fall back to the
+whole-graph solve when the incumbent is smaller than ``k + 1`` —
+:meth:`repro.core.solver.KDCSolver._solve_bitset` does exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..graphs.degeneracy import degeneracy_ordering
+from ..graphs.graph import Graph
+from .config import SolverConfig
+from .fastpath import BitsetEngine
+from .result import SearchStats
+
+__all__ = ["solve_decomposed"]
+
+
+def solve_decomposed(
+    working: Graph,
+    k: int,
+    config: SolverConfig,
+    stats: SearchStats,
+    check_budget: Callable[[], None],
+    incumbent: List[int],
+) -> None:
+    """Solve ``working`` by per-vertex ego subproblems, improving ``incumbent`` in place.
+
+    Parameters
+    ----------
+    working:
+        The (preprocessed) instance graph with integer vertex ids.  Not
+        modified.
+    k:
+        Defectiveness parameter.
+    config:
+        Feature flags forwarded to the bitset engine.
+    stats:
+        Counters updated in place.
+    check_budget:
+        Raises :class:`~repro.exceptions.BudgetExceededError` to interrupt;
+        called at least once per subproblem (and once per search node by the
+        engine).
+    incumbent:
+        Best solution known so far, as a list of ``working`` vertex ids with
+        ``len(incumbent) >= k + 1`` (see module docstring).  Grown in place.
+    """
+    if len(incumbent) < k + 1:
+        raise ValueError(
+            "solve_decomposed requires an incumbent of size >= k + 1; "
+            "fall back to the whole-graph bitset solve instead"
+        )
+    decomposition = degeneracy_ordering(working)
+    position = decomposition.position
+
+    # Process anchors in reverse peeling order: the densest part of the graph
+    # (where the maximum solution almost always lives) is searched first, so
+    # the incumbent tightens early and the cheap size cap below skips most of
+    # the remaining, sparser ego nets without building them.
+    for v in reversed(decomposition.ordering):
+        check_budget()
+        pos_v = position[v]
+        higher = [u for u in working.neighbors(v) if position[u] > pos_v]
+        # A solution with v lowest-ranked has at most 1 + |N⁺(v)| + k
+        # vertices (each of the <= k non-neighbours of v costs one of the k
+        # missing edges), so small ego nets cannot beat the incumbent.
+        if 1 + len(higher) + k <= len(incumbent):
+            continue
+
+        target = len(incumbent) + 1
+        higher_set = set(higher)
+        # Two-hop candidates: higher-ranked non-neighbours of v reachable
+        # through N⁺(v), filtered by the common-neighbour lower bound
+        # |N(u) ∩ N(v) ∩ S| >= target - 2k (diameter-2 argument above).
+        cn_count: Dict[int, int] = {}
+        for w in higher:
+            for u in working.neighbors(w):
+                if u != v and u not in higher_set and position[u] > pos_v:
+                    cn_count[u] = cn_count.get(u, 0) + 1
+        cn_threshold = max(1, target - 2 * k)
+        two_hop = [u for u, c in cn_count.items() if c >= cn_threshold]
+
+        local_vertices = [v] + higher + two_hop
+        local_index = {u: i for i, u in enumerate(local_vertices)}
+        width = len(local_vertices)
+        adj_bits = [0] * width
+        for u, i in local_index.items():
+            row = 0
+            for w in working.neighbors(u):
+                j = local_index.get(w)
+                if j is not None:
+                    row |= 1 << j
+            adj_bits[i] = row
+
+        engine = BitsetEngine(config, stats, check_budget, incumbent, to_global=local_vertices)
+        engine.run(adj_bits, (1 << width) - 1, k, forced=0)

@@ -13,8 +13,9 @@ the preprocessing of the input graph.
 
 from __future__ import annotations
 
-from typing import List, Set
+from typing import Callable, List, Optional, Set
 
+from ..exceptions import BudgetExceededError
 from ..graphs.degeneracy import degeneracy_ordering
 from ..graphs.graph import Graph, Vertex
 from .defective import validate_k
@@ -22,7 +23,15 @@ from .defective import validate_k
 __all__ = ["degen", "degen_opt", "initial_solution"]
 
 
-def degen(graph: Graph, k: int) -> List[Vertex]:
+#: How many suffix-scan iterations :func:`degen` runs between budget polls.
+_DEGEN_BUDGET_STRIDE = 2048
+
+
+def degen(
+    graph: Graph,
+    k: int,
+    budget_check: Optional[Callable[[], None]] = None,
+) -> List[Vertex]:
     """Algorithm 3: the longest k-defective-clique suffix of a degeneracy ordering.
 
     Because missing edges only accumulate as the suffix grows, the longest
@@ -30,7 +39,10 @@ def degen(graph: Graph, k: int) -> List[Vertex]:
     at the first vertex whose inclusion would exceed ``k`` missing edges.
 
     Returns the vertices of the heuristic solution (possibly empty for an
-    empty graph).
+    empty graph).  ``budget_check`` is polled every
+    :data:`_DEGEN_BUDGET_STRIDE` scan steps; when it raises
+    :class:`~repro.exceptions.BudgetExceededError` the suffix built so far is
+    returned (callers re-check the budget themselves afterwards).
     """
     validate_k(k)
     if graph.num_vertices == 0:
@@ -39,7 +51,12 @@ def degen(graph: Graph, k: int) -> List[Vertex]:
     chosen: List[Vertex] = []
     chosen_set: Set[Vertex] = set()
     missing = 0
-    for v in reversed(ordering):
+    for i, v in enumerate(reversed(ordering)):
+        if budget_check is not None and i % _DEGEN_BUDGET_STRIDE == 0 and i:
+            try:
+                budget_check()
+            except BudgetExceededError:
+                break
         adjacent = sum(1 for u in graph.neighbors(v) if u in chosen_set)
         extra = len(chosen) - adjacent
         if missing + extra > k:
@@ -50,7 +67,11 @@ def degen(graph: Graph, k: int) -> List[Vertex]:
     return chosen
 
 
-def degen_opt(graph: Graph, k: int) -> List[Vertex]:
+def degen_opt(
+    graph: Graph,
+    k: int,
+    budget_check: Optional[Callable[[], None]] = None,
+) -> List[Vertex]:
     """Algorithm 4: ``Degen`` on the whole graph plus on every higher-neighbourhood subgraph.
 
     For each vertex ``u``, the subgraph induced by its higher-ranked
@@ -58,26 +79,44 @@ def degen_opt(graph: Graph, k: int) -> List[Vertex]:
     ``Degen`` is run inside it; since every vertex of ``N⁺(u)`` is adjacent
     to ``u``, appending ``u`` to the sub-solution keeps it a k-defective
     clique.  The largest of the ``n + 1`` solutions is returned.
+
+    ``budget_check`` (typically ``KDCSolver._check_budget``) is polled once
+    per vertex; when it raises
+    :class:`~repro.exceptions.BudgetExceededError` the best solution found
+    *so far* is returned — callers that need to know the budget fired should
+    re-check it themselves afterwards.
     """
     validate_k(k)
-    best = degen(graph, k)
+    best = degen(graph, k, budget_check=budget_check)
     if graph.num_vertices == 0:
         return best
     decomposition = degeneracy_ordering(graph)
     position = decomposition.position
     for u in decomposition.ordering:
+        if budget_check is not None:
+            try:
+                budget_check()
+            except BudgetExceededError:
+                return best
         pos_u = position[u]
         higher = [v for v in graph.neighbors(u) if position[v] > pos_u]
         if len(higher) + 1 <= len(best):
             continue  # even a perfect sub-solution cannot beat the incumbent
         sub = graph.subgraph(higher)
-        candidate = degen(sub, k)
+        # Forward the budget poll: a hub's ego subgraph can hold millions of
+        # edges, and degen's partial-return semantics make interruption safe.
+        candidate = degen(sub, k, budget_check=budget_check)
         if len(candidate) + 1 > len(best):
             best = candidate + [u]
     return best
 
 
-def initial_solution(graph: Graph, k: int, method: str = "degen-opt") -> List[Vertex]:
+def initial_solution(
+    graph: Graph,
+    k: int,
+    method: str = "degen-opt",
+    budget_check: Optional[Callable[[], None]] = None,
+) -> List[Vertex]:
     """Dispatch helper used by the solver's Line 1 of Algorithm 2.
 
     Parameters
@@ -85,11 +124,14 @@ def initial_solution(graph: Graph, k: int, method: str = "degen-opt") -> List[Ve
     method:
         ``"degen-opt"`` (default), ``"degen"``, or ``"none"`` (returns an
         empty solution, used by the kDC-t theoretical variant).
+    budget_check:
+        Optional budget poll forwarded to :func:`degen_opt` (see there for
+        the partial-result semantics on interruption).
     """
     if method == "none":
         return []
     if method == "degen":
-        return degen(graph, k)
+        return degen(graph, k, budget_check=budget_check)
     if method == "degen-opt":
-        return degen_opt(graph, k)
+        return degen_opt(graph, k, budget_check=budget_check)
     raise ValueError(f"unknown initial-solution method {method!r}")

@@ -16,7 +16,7 @@ The rules fall into three groups:
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from ..graphs.graph import Graph
 from ..graphs.kcore import core_reduce_in_place
@@ -231,22 +231,36 @@ def preprocess_graph(
     use_rr5: bool = True,
     use_rr6: bool = True,
     stats: Optional[SearchStats] = None,
+    budget_check: Optional[Callable[[], None]] = None,
 ) -> Graph:
     """Reduce the input graph before the search starts (Line 2 of Algorithm 2).
 
     Exhaustively applying RR5 reduces the graph to its ``(lb - k)``-core;
     exhaustively applying RR6 then reduces it to its ``(lb - k + 1)``-truss.
     The graph is modified **in place** and also returned for convenience.
+
+    ``budget_check`` (typically ``KDCSolver._check_budget``) is polled before
+    each reduction phase and, forwarded into the core/truss peeling loops,
+    every few thousand steps *within* each phase; a raised
+    :class:`~repro.exceptions.BudgetExceededError` propagates to the caller.
+    Since every phase only ever removes provably useless vertices/edges, an
+    interrupted graph is still a safe (if less reduced) search instance.
     """
     before_vertices = graph.num_vertices
     before_edges = graph.num_edges
+    if budget_check is not None:
+        budget_check()
     if use_rr5 and lower_bound - k > 0:
-        core_reduce_in_place(graph, lower_bound - k)
+        core_reduce_in_place(graph, lower_bound - k, budget_check=budget_check)
     if use_rr6 and lower_bound - k - 1 > 0:
-        truss_reduce_in_place(graph, lower_bound - k + 1)
+        if budget_check is not None:
+            budget_check()
+        truss_reduce_in_place(graph, lower_bound - k + 1, budget_check=budget_check)
         # Edge removals can lower degrees below the core threshold again.
         if use_rr5 and lower_bound - k > 0:
-            core_reduce_in_place(graph, lower_bound - k)
+            if budget_check is not None:
+                budget_check()
+            core_reduce_in_place(graph, lower_bound - k, budget_check=budget_check)
     if stats is not None:
         stats.preprocess_removed_vertices += before_vertices - graph.num_vertices
         stats.preprocess_removed_edges += before_edges - graph.num_edges

@@ -41,6 +41,10 @@ class SearchStats:
     preprocess_removed_edges: int = 0
     #: wall-clock seconds spent in the solve call
     elapsed_seconds: float = 0.0
+    #: search-state backend that ran ("set" or "bitset"); "" when no
+    #: backend was reached — baselines, or a solve interrupted before the
+    #: search phase
+    backend: str = ""
 
     def count_reduction(self, rule: str, amount: int = 1) -> None:
         """Increment the removal counter of a reduction rule."""
@@ -60,6 +64,7 @@ class SearchStats:
             "preprocess_removed_vertices": self.preprocess_removed_vertices,
             "preprocess_removed_edges": self.preprocess_removed_edges,
             "elapsed_seconds": self.elapsed_seconds,
+            "backend": self.backend,
         }
         for rule, count in sorted(self.reductions.items()):
             data[f"removed_{rule}"] = count

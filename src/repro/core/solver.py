@@ -12,6 +12,30 @@ Two public entry points are provided:
 
 The solver is exact: unless a time or node budget interrupts it, the returned
 set is a maximum k-defective clique and ``result.optimal`` is ``True``.
+
+Backends
+--------
+Two interchangeable search-state backends implement the branch-and-bound:
+
+* ``"set"`` — the original dict/set :class:`~repro.core.instance.SearchState`;
+* ``"bitset"`` — packed adjacency bitmaps
+  (:class:`~repro.core.bitset_state.BitsetSearchState` driven by
+  :class:`~repro.core.fastpath.BitsetEngine`).  On instances with at least
+  ``SolverConfig.decompose_threshold`` vertices after preprocessing (and a
+  heuristic lower bound of at least ``k + 1``), the bitset backend further
+  switches to the degeneracy decomposition of :mod:`repro.core.decompose`,
+  which solves one small ego subproblem per vertex while threading the shared
+  incumbent through as the lower bound.
+
+``SolverConfig.backend`` selects between them; the default ``"auto"`` uses
+the bitset backend whenever the reduced instance has at least
+:data:`_AUTO_BITSET_MIN_VERTICES` vertices.  Both backends return identical
+optimal sizes; the bitset path is simply much faster on non-toy inputs.
+
+Budgets (``time_limit`` / ``node_limit``) are enforced during *all* phases:
+the initial heuristic, the RR5/RR6 preprocessing, and the search itself all
+check the deadline periodically, and an interrupted solve returns the best
+solution found so far with ``optimal=False``.
 """
 
 from __future__ import annotations
@@ -25,7 +49,9 @@ from ..graphs.graph import Graph, Vertex
 from .bounds import ub1_improved_coloring, ub2_min_degree, ub3_degree_sequence
 from .branching import select_branching_vertex
 from .config import SolverConfig, variant_config
+from .decompose import solve_decomposed
 from .defective import validate_k
+from .fastpath import BitsetEngine
 from .heuristics import initial_solution
 from .instance import SearchState
 from .reductions import apply_reductions, preprocess_graph
@@ -35,6 +61,16 @@ __all__ = ["KDCSolver", "find_maximum_defective_clique", "maximum_defective_cliq
 
 #: Recursion depth head-room added on top of the candidate-set size.
 _RECURSION_MARGIN = 256
+
+#: Smallest reduced-instance size for which ``backend="auto"`` picks the
+#: bitset backend; below this the set backend's lower setup cost wins.
+_AUTO_BITSET_MIN_VERTICES = 32
+
+#: Largest instance the *whole-graph* bitset search will accept: n adjacency
+#: rows of n bits is O(n²/8) bytes, so when the degeneracy decomposition
+#: cannot engage (incumbent < k + 1) bigger instances fall back to the
+#: O(n + m) set backend instead of risking an out-of-memory abort.
+_BITSET_WHOLE_GRAPH_MAX_VERTICES = 20_000
 
 
 class KDCSolver:
@@ -97,39 +133,43 @@ class KDCSolver:
             return SolveResult(clique=[], size=0, k=k, optimal=True, algorithm=self.name, stats=stats)
 
         relabeled, _, to_label = graph.relabel()
-
-        # Line 1 of Algorithm 2: heuristic initial solution.
-        best = [v for v in initial_solution(relabeled, k, config.initial_heuristic)]
-        stats.initial_solution_size = len(best)
-        self._best = best
-
-        # Line 2 of Algorithm 2: reduce the input graph using the initial lower bound.
-        working = relabeled.copy()
-        if config.use_rr5 or config.use_rr6:
-            preprocess_graph(
-                working,
-                k,
-                lower_bound=len(best),
-                use_rr5=config.use_rr5,
-                use_rr6=config.use_rr6,
-                stats=stats,
-            )
-
+        self._best = []
         optimal = True
-        if working.num_vertices > 0:
-            adj = self._adjacency_list(working, relabeled.num_vertices)
-            state = SearchState.initial(adj, k, vertices=working.vertex_set())
-            depth_needed = len(state.candidates) + _RECURSION_MARGIN
-            old_limit = sys.getrecursionlimit()
-            if old_limit < depth_needed:
-                sys.setrecursionlimit(depth_needed)
-            try:
-                self._branch(state, depth=1)
-            except BudgetExceededError:
-                optimal = False
-            finally:
-                if sys.getrecursionlimit() != old_limit:
-                    sys.setrecursionlimit(old_limit)
+        try:
+            # Line 1 of Algorithm 2: heuristic initial solution.  The
+            # heuristic is budget-aware: when the deadline fires mid-run it
+            # returns its best partial solution, and the explicit check below
+            # aborts the solve with that partial incumbent.
+            best = initial_solution(
+                relabeled, k, config.initial_heuristic, budget_check=self._check_budget
+            )
+            self._best = list(best)
+            stats.initial_solution_size = len(self._best)
+            self._check_budget()
+
+            # Line 2 of Algorithm 2: reduce the input graph using the initial
+            # lower bound.
+            working = relabeled.copy()
+            if config.use_rr5 or config.use_rr6:
+                preprocess_graph(
+                    working,
+                    k,
+                    lower_bound=len(self._best),
+                    use_rr5=config.use_rr5,
+                    use_rr6=config.use_rr6,
+                    stats=stats,
+                    budget_check=self._check_budget,
+                )
+
+            backend = self._resolve_backend(working, k)
+            stats.backend = backend
+            if working.num_vertices > 0:
+                if backend == "bitset":
+                    self._solve_bitset(working, k)
+                else:
+                    self._solve_set(working, relabeled.num_vertices, k)
+        except BudgetExceededError:
+            optimal = False
 
         stats.elapsed_seconds = time.perf_counter() - start
         labels = [to_label[v] for v in self._best]
@@ -149,6 +189,69 @@ class KDCSolver:
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
+    def _resolve_backend(self, working: Graph, k: int) -> str:
+        """Map ``config.backend`` to the concrete backend used for ``working``.
+
+        The bitset backend's whole-graph mode allocates O(n²/8) bytes of
+        adjacency rows, so when the decomposition cannot engage (no usable
+        incumbent) very large instances are routed to the O(n + m) set
+        backend even under ``backend="bitset"`` — running slower beats dying
+        on memory, and the decomposition handles every realistically large
+        input that has a heuristic lower bound.
+        """
+        config = self.config
+        backend = config.backend
+        if backend == "auto":
+            backend = "bitset" if working.num_vertices >= _AUTO_BITSET_MIN_VERTICES else "set"
+        if backend == "bitset":
+            decomposable = (
+                working.num_vertices >= config.decompose_threshold and len(self._best) >= k + 1
+            )
+            if not decomposable and working.num_vertices > _BITSET_WHOLE_GRAPH_MAX_VERTICES:
+                return "set"
+        return backend
+
+    def _solve_set(self, working: Graph, total_vertices: int, k: int) -> None:
+        """Branch-and-bound over the dict/set :class:`SearchState` backend."""
+        adj = self._adjacency_list(working, total_vertices)
+        state = SearchState.initial(adj, k, vertices=working.vertex_set())
+        depth_needed = len(state.candidates) + _RECURSION_MARGIN
+        old_limit = sys.getrecursionlimit()
+        if old_limit < depth_needed:
+            sys.setrecursionlimit(depth_needed)
+        try:
+            self._branch(state, depth=1)
+        finally:
+            if sys.getrecursionlimit() != old_limit:
+                sys.setrecursionlimit(old_limit)
+
+    def _solve_bitset(self, working: Graph, k: int) -> None:
+        """Branch-and-bound over packed adjacency bitmaps (optionally decomposed).
+
+        Large instances (``>= config.decompose_threshold`` vertices) with a
+        usable lower bound (``>= k + 1``, required by the diameter-2 argument
+        of :mod:`repro.core.decompose`) are split into per-vertex ego
+        subproblems; everything else is one whole-graph bitset search.
+        """
+        config = self.config
+        if working.num_vertices >= config.decompose_threshold and len(self._best) >= k + 1:
+            solve_decomposed(working, k, config, self._stats, self._check_budget, self._best)
+            return
+        # Compact local ids so masks are only as wide as the (reduced)
+        # instance; degree-descending assignment keeps the id space
+        # deterministic for a fixed input.
+        to_global = sorted(working, key=lambda v: -working.degree(v))
+        local_index = {v: i for i, v in enumerate(to_global)}
+        width = len(to_global)
+        adj_bits = [0] * width
+        for v, i in local_index.items():
+            row = 0
+            for u in working.neighbors(v):
+                row |= 1 << local_index[u]
+            adj_bits[i] = row
+        engine = BitsetEngine(config, self._stats, self._check_budget, self._best, to_global=to_global)
+        engine.run(adj_bits, (1 << width) - 1, k)
+
     @staticmethod
     def _adjacency_list(working: Graph, total_vertices: int) -> List[set]:
         """Return adjacency sets indexed by the original integer ids of ``working``."""

@@ -382,13 +382,12 @@ class Graph:
             for v in verts:
                 if v not in self._adj:
                     raise VertexNotFoundError(v)
-        n = len(verts)
         for i, u in enumerate(verts):
             nbrs = self._adj[u]
             for v in verts[i + 1:]:
                 if v not in nbrs:
                     return False
-        return n >= 0
+        return True
 
     def count_missing_edges(self, vertices: Iterable[Vertex]) -> int:
         """Return the number of non-edges inside the subgraph induced by ``vertices``."""

@@ -46,7 +46,9 @@ def read_edge_list(path: PathLike, comments: str = "#%") -> Graph:
 
     Vertex ids are parsed as integers when possible and kept as strings
     otherwise.  Self-loops and duplicate edges are ignored, matching how the
-    paper's benchmark loaders sanitise raw repository data.
+    paper's benchmark loaders sanitise raw repository data.  The
+    ``# isolated: ...`` header emitted by :func:`write_edge_list` is parsed
+    back, so edge-list round-trips preserve degree-0 vertices.
     """
     graph = Graph()
     with open(path, "r", encoding="utf-8") as handle:
@@ -58,6 +60,7 @@ def _parse_edge_lines(handle: TextIO, graph: Graph, comments: str) -> None:
     for lineno, line in enumerate(handle, start=1):
         stripped = line.strip()
         if not stripped or stripped[0] in comments:
+            _parse_isolated_header(stripped, graph, comments)
             continue
         parts = stripped.split()
         if len(parts) < 2:
@@ -66,6 +69,16 @@ def _parse_edge_lines(handle: TextIO, graph: Graph, comments: str) -> None:
         if u == v:
             continue  # drop self-loops from raw data
         graph.add_edge(u, v)
+
+
+def _parse_isolated_header(stripped: str, graph: Graph, comments: str) -> None:
+    """Recover isolated vertices from a ``# isolated: ...`` comment line."""
+    if not stripped:
+        return
+    body = stripped.lstrip(comments).strip()
+    if body.startswith("isolated:"):
+        for token in body[len("isolated:"):].split():
+            graph.add_vertex(_coerce(token))
 
 
 def _coerce(token: str) -> Union[int, str]:
@@ -108,7 +121,15 @@ def read_dimacs(path: PathLike) -> Graph:
             elif parts[0] == "e":
                 if len(parts) < 3:
                     raise GraphFormatError(f"line {lineno}: malformed edge line {stripped!r}")
+                if declared_n is None:
+                    raise GraphFormatError(
+                        f"line {lineno}: edge line before the 'p edge' problem line"
+                    )
                 u, v = int(parts[1]) - 1, int(parts[2]) - 1
+                if not (0 <= u < declared_n and 0 <= v < declared_n):
+                    raise GraphFormatError(
+                        f"line {lineno}: edge endpoint out of range 1..{declared_n}: {stripped!r}"
+                    )
                 if u == v:
                     continue
                 graph.add_edge(u, v)
@@ -226,4 +247,8 @@ def _resolve_format(path: PathLike, fmt: str) -> str:
         return "dimacs"
     if ext in _METIS_EXTS:
         return "metis"
-    return "edgelist"
+    supported = ", ".join(sorted(_EDGE_EXTS | _DIMACS_EXTS | _METIS_EXTS))
+    raise GraphFormatError(
+        f"cannot infer graph format from extension {ext!r} of {os.fspath(path)!r}; "
+        f"supported extensions: {supported} (or pass fmt='edgelist'/'dimacs'/'metis' explicitly)"
+    )

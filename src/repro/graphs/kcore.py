@@ -13,14 +13,21 @@ the search to the ``(lb - k)``-core is safe.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Set
+from typing import Callable, Dict, Optional, Set
 
 from .graph import Graph, Vertex
 
 __all__ = ["k_core", "k_core_vertices", "core_reduce_in_place"]
 
+#: Peeling steps between budget polls.
+_BUDGET_STRIDE = 4096
 
-def k_core_vertices(graph: Graph, k: int) -> Set[Vertex]:
+
+def k_core_vertices(
+    graph: Graph,
+    k: int,
+    budget_check: Optional[Callable[[], None]] = None,
+) -> Set[Vertex]:
     """Return the vertex set of the k-core of ``graph``.
 
     Parameters
@@ -29,6 +36,11 @@ def k_core_vertices(graph: Graph, k: int) -> Set[Vertex]:
         Input graph (not modified).
     k:
         Minimum degree requirement; ``k <= 0`` returns all vertices.
+    budget_check:
+        Optional callable polled every few thousand peeling steps; any
+        exception it raises (e.g.
+        :class:`~repro.exceptions.BudgetExceededError`) propagates before
+        the graph is inspected further.
 
     Returns
     -------
@@ -43,10 +55,15 @@ def k_core_vertices(graph: Graph, k: int) -> Set[Vertex]:
     queue = deque(v for v, d in degree.items() if d < k)
     queued = set(queue)
 
+    steps = 0
     while queue:
         v = queue.popleft()
         if v not in alive:
             continue
+        if budget_check is not None:
+            steps += 1
+            if steps % _BUDGET_STRIDE == 0:
+                budget_check()
         alive.discard(v)
         for u in graph.neighbors(v):
             if u in alive:
@@ -62,14 +79,20 @@ def k_core(graph: Graph, k: int) -> Graph:
     return graph.subgraph(k_core_vertices(graph, k))
 
 
-def core_reduce_in_place(graph: Graph, k: int) -> Set[Vertex]:
+def core_reduce_in_place(
+    graph: Graph,
+    k: int,
+    budget_check: Optional[Callable[[], None]] = None,
+) -> Set[Vertex]:
     """Reduce ``graph`` to its k-core in place, returning the removed vertices.
 
     This is the form used by the solver preprocessing (RR5): the working copy
     of the input graph is shrunk destructively so that subsequent reductions
-    and the search itself operate on the smaller graph.
+    and the search itself operate on the smaller graph.  ``budget_check`` is
+    forwarded to :func:`k_core_vertices`; if it fires the graph is left
+    unmodified.
     """
-    keep = k_core_vertices(graph, k)
+    keep = k_core_vertices(graph, k, budget_check=budget_check)
     removed = graph.vertex_set() - keep
     graph.remove_vertices(removed)
     return removed

@@ -15,11 +15,14 @@ input graph to its ``(lb - k + 1)``-truss is safe.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from .graph import Graph, Vertex
 
 __all__ = ["edge_support", "k_truss", "k_truss_edges", "truss_reduce_in_place"]
+
+#: Support-computation / peeling steps between budget polls.
+_BUDGET_STRIDE = 4096
 
 _EdgeKey = FrozenSet[Vertex]
 
@@ -39,7 +42,11 @@ def edge_support(graph: Graph) -> Dict[_EdgeKey, int]:
     return support
 
 
-def k_truss_edges(graph: Graph, k: int) -> Set[Tuple[Vertex, Vertex]]:
+def k_truss_edges(
+    graph: Graph,
+    k: int,
+    budget_check: Optional[Callable[[], None]] = None,
+) -> Set[Tuple[Vertex, Vertex]]:
     """Return the edges of the k-truss of ``graph``.
 
     Parameters
@@ -49,6 +56,10 @@ def k_truss_edges(graph: Graph, k: int) -> Set[Tuple[Vertex, Vertex]]:
     k:
         Truss parameter; every surviving edge lies in at least ``k - 2``
         triangles of the surviving subgraph.  ``k <= 2`` keeps all edges.
+    budget_check:
+        Optional callable polled every few thousand steps of the support
+        computation and the peeling loop — the two O(δ(G) · m) phases that
+        dominate on large graphs; any exception it raises propagates.
 
     Returns
     -------
@@ -63,7 +74,12 @@ def k_truss_edges(graph: Graph, k: int) -> Set[Tuple[Vertex, Vertex]]:
     # Work on a mutable adjacency copy so we can delete edges as we peel.
     adj: Dict[Vertex, Set[Vertex]] = {v: set(graph.neighbors(v)) for v in graph}
     support: Dict[_EdgeKey, int] = {}
+    steps = 0
     for u, v in graph.iter_edges():
+        if budget_check is not None:
+            steps += 1
+            if steps % _BUDGET_STRIDE == 0:
+                budget_check()
         nu, nv = adj[u], adj[v]
         if len(nu) > len(nv):
             nu, nv = nv, nu
@@ -73,10 +89,15 @@ def k_truss_edges(graph: Graph, k: int) -> Set[Tuple[Vertex, Vertex]]:
     queued = set(queue)
     alive: Set[_EdgeKey] = set(support)
 
+    steps = 0
     while queue:
         e = queue.popleft()
         if e not in alive:
             continue
+        if budget_check is not None:
+            steps += 1
+            if steps % _BUDGET_STRIDE == 0:
+                budget_check()
         alive.discard(e)
         u, v = tuple(e)
         adj[u].discard(v)
@@ -113,14 +134,20 @@ def k_truss(graph: Graph, k: int) -> Graph:
     return g
 
 
-def truss_reduce_in_place(graph: Graph, k: int) -> int:
+def truss_reduce_in_place(
+    graph: Graph,
+    k: int,
+    budget_check: Optional[Callable[[], None]] = None,
+) -> int:
     """Reduce ``graph`` to its k-truss in place; return the number of removed edges.
 
     Vertices that lose all incident edges are removed as well (they cannot be
     part of any solution larger than the current lower bound when RR6
-    applies, because RR5 is always applied alongside).
+    applies, because RR5 is always applied alongside).  ``budget_check`` is
+    forwarded to :func:`k_truss_edges`; if it fires there the graph is left
+    unmodified.
     """
-    keep = k_truss_edges(graph, k)
+    keep = k_truss_edges(graph, k, budget_check=budget_check)
     removed = 0
     for u, v in list(graph.iter_edges()):
         if (u, v) not in keep and (v, u) not in keep:

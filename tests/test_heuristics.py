@@ -95,3 +95,43 @@ class TestDispatch:
     def test_unknown_method(self):
         with pytest.raises(ValueError):
             initial_solution(complete_graph(3), 1, "magic")
+
+
+class TestBudgetAwareness:
+    def test_degen_opt_returns_partial_result_when_budget_fires(self):
+        from repro.exceptions import BudgetExceededError
+
+        g = gnp_random_graph(40, 0.3, seed=11)
+
+        calls = []
+
+        def firing_budget():
+            calls.append(None)
+            if len(calls) > 3:
+                raise BudgetExceededError("deadline")
+
+        partial = degen_opt(g, 2, budget_check=firing_budget)
+        full = degen_opt(g, 2)
+        assert is_k_defective_clique(g, partial, 2)
+        assert 1 <= len(partial) <= len(full)
+
+    def test_degen_opt_immediate_budget_still_returns_degen_floor(self):
+        from repro.exceptions import BudgetExceededError
+
+        def firing_budget():
+            raise BudgetExceededError("deadline")
+
+        g = gnp_random_graph(40, 0.3, seed=12)
+        partial = degen_opt(g, 2, budget_check=firing_budget)
+        assert len(partial) >= len(degen(g, 2)) > 0
+        assert is_k_defective_clique(g, partial, 2)
+
+    def test_initial_solution_forwards_budget_check(self):
+        from repro.exceptions import BudgetExceededError
+
+        def firing_budget():
+            raise BudgetExceededError("deadline")
+
+        g = gnp_random_graph(30, 0.4, seed=13)
+        result = initial_solution(g, 1, "degen-opt", budget_check=firing_budget)
+        assert is_k_defective_clique(g, result, 1)

@@ -72,6 +72,24 @@ class TestEdgeList:
         assert content.startswith("#")
         assert "isolated" in content
 
+    def test_roundtrip_preserves_isolated_vertices(self, tmp_path):
+        g = Graph(edges=[(0, 1), (1, 2)], vertices=[7, 9])
+        path = tmp_path / "g.edges"
+        write_edge_list(g, path)
+        loaded = read_edge_list(path)
+        assert loaded.num_vertices == g.num_vertices
+        assert loaded.num_edges == g.num_edges
+        assert loaded.has_vertex(7) and loaded.has_vertex(9)
+        assert loaded.degree(7) == 0 and loaded.degree(9) == 0
+
+    def test_roundtrip_preserves_string_labelled_isolated_vertices(self, tmp_path):
+        g = Graph(edges=[("a", "b")], vertices=["lonely"])
+        path = tmp_path / "g.edges"
+        write_edge_list(g, path)
+        loaded = read_edge_list(path)
+        assert loaded.has_vertex("lonely")
+        assert loaded.num_vertices == 3
+
 
 class TestDimacs:
     def test_roundtrip(self, tmp_path):
@@ -107,6 +125,32 @@ class TestDimacs:
         with pytest.raises(GraphFormatError):
             read_dimacs(path)
 
+    def test_endpoint_beyond_declared_n_rejected(self, tmp_path):
+        path = tmp_path / "g.clq"
+        path.write_text("p edge 3 2\ne 1 2\ne 2 9\n")
+        with pytest.raises(GraphFormatError, match="out of range"):
+            read_dimacs(path)
+
+    def test_zero_or_negative_endpoint_rejected(self, tmp_path):
+        path = tmp_path / "g.clq"
+        path.write_text("p edge 3 1\ne 0 2\n")
+        with pytest.raises(GraphFormatError, match="out of range"):
+            read_dimacs(path)
+
+    def test_edge_before_problem_line_rejected(self, tmp_path):
+        path = tmp_path / "g.clq"
+        path.write_text("e 1 2\np edge 3 1\n")
+        with pytest.raises(GraphFormatError, match="before"):
+            read_dimacs(path)
+
+    def test_roundtrip_preserves_isolated_vertices(self, tmp_path):
+        g = Graph(edges=[(0, 1)], vertices=[2, 3])
+        path = tmp_path / "g.clq"
+        write_dimacs(g, path)
+        loaded = read_dimacs(path)
+        assert loaded.num_vertices == 4
+        assert loaded.num_edges == 1
+
 
 class TestMetis:
     def test_roundtrip(self, tmp_path):
@@ -135,6 +179,14 @@ class TestMetis:
         with pytest.raises(GraphFormatError):
             read_metis(path)
 
+    def test_roundtrip_preserves_isolated_vertices(self, tmp_path):
+        g = Graph(edges=[(0, 1)], vertices=[2, 3])
+        path = tmp_path / "g.graph"
+        write_metis(g, path)
+        loaded = read_metis(path)
+        assert loaded.num_vertices == 4
+        assert loaded.num_edges == 1
+
 
 class TestDispatch:
     @pytest.mark.parametrize("suffix", [".edges", ".clq", ".graph"])
@@ -145,11 +197,20 @@ class TestDispatch:
         loaded = load_graph(path)
         assert loaded.num_edges == 6
 
-    def test_unknown_extension_defaults_to_edgelist(self, tmp_path):
+    def test_unknown_extension_raises(self, tmp_path):
         g = Graph(edges=[(0, 1)])
-        path = tmp_path / "graph.weird"
-        save_graph(g, path)
-        assert load_graph(path).num_edges == 1
+        path = tmp_path / "graph.mtx"
+        with pytest.raises(GraphFormatError, match="supported extensions"):
+            save_graph(g, path)
+        path.write_text("0 1\n")
+        with pytest.raises(GraphFormatError, match="supported extensions"):
+            load_graph(path)
+
+    def test_unknown_extension_explicit_format_still_works(self, tmp_path):
+        g = Graph(edges=[(0, 1)])
+        path = tmp_path / "graph.mtx"
+        save_graph(g, path, fmt="edgelist")
+        assert load_graph(path, fmt="edgelist").num_edges == 1
 
     def test_explicit_format_overrides(self, tmp_path):
         g = complete_graph(3)

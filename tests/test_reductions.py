@@ -250,3 +250,34 @@ class TestPreprocessing:
         before = g.num_vertices
         preprocess_graph(g, k=1, lower_bound=4, use_rr5=False, use_rr6=False)
         assert g.num_vertices == before
+
+
+class TestPreprocessingBudget:
+    def test_budget_check_raised_before_work(self):
+        from repro.exceptions import BudgetExceededError
+
+        def firing_budget():
+            raise BudgetExceededError("deadline")
+
+        g = gnp_random_graph(30, 0.4, seed=3)
+        import pytest
+
+        with pytest.raises(BudgetExceededError):
+            preprocess_graph(g, k=1, lower_bound=6, budget_check=firing_budget)
+
+    def test_budget_check_polled_between_phases(self):
+        from repro.exceptions import BudgetExceededError
+
+        calls = []
+
+        def counting_budget():
+            calls.append(None)
+
+        g = gnp_random_graph(30, 0.4, seed=4)
+        preprocess_graph(g, k=1, lower_bound=6, budget_check=counting_budget)
+        assert len(calls) >= 2  # before the core phase and before the truss phase
+
+    def test_no_budget_check_still_works(self):
+        g = complete_graph(8)
+        preprocess_graph(g, k=1, lower_bound=5)
+        assert g.num_vertices == 8

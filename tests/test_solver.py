@@ -184,6 +184,34 @@ class TestBudgets:
         result = KDCSolver(config).solve(g, 2)
         assert result.size >= result.stats.initial_solution_size
 
+    def test_time_limit_enforced_during_pre_search_phases(self):
+        """A deadline that fires before the search starts must yield optimal=False.
+
+        The limit is small enough that it expires inside the initial
+        heuristic / preprocessing on this dense instance, which the seed
+        implementation ignored entirely (the deadline was only checked
+        inside the branch-and-bound recursion).
+        """
+        import time
+
+        g = gnp_random_graph(150, 0.5, seed=9)
+        config = SolverConfig(time_limit=1e-6)
+        start = time.perf_counter()
+        result = KDCSolver(config).solve(g, 3)
+        elapsed = time.perf_counter() - start
+        assert not result.optimal
+        assert is_k_defective_clique(g, result.clique, 3)
+        # Far below what a full solve of this instance would need.
+        assert elapsed < 10.0
+
+    def test_time_limit_pre_search_keeps_partial_heuristic(self):
+        g = gnp_random_graph(120, 0.4, seed=10)
+        result = KDCSolver(SolverConfig(time_limit=1e-6)).solve(g, 2)
+        # degen runs to completion before the first budget poll, so an
+        # interrupted solve still returns a non-trivial valid solution.
+        assert result.size >= 1
+        assert not result.optimal
+
 
 class TestStatistics:
     def test_stats_populated(self):

@@ -11,7 +11,13 @@ from repro.baselines import (
     MaxCliqueSolver,
     brute_force_maximum_defective_clique,
 )
-from repro.core import find_maximum_defective_clique, is_k_defective_clique, is_maximal_k_defective_clique
+from repro.core import (
+    KDCSolver,
+    SolverConfig,
+    find_maximum_defective_clique,
+    is_k_defective_clique,
+    is_maximal_k_defective_clique,
+)
 from repro.graphs import Graph, gnp_random_graph
 
 
@@ -89,3 +95,42 @@ def test_solution_size_at_least_heuristic_floor(g, k):
     assert result.size >= 1
     if g.num_edges > 0:
         assert result.size >= 2
+
+
+@given(graphs(), st.integers(min_value=0, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_bitset_backend_matches_set_backend(g, k):
+    """The bitset fast path and the dict/set backend find the same optimum."""
+    set_result = KDCSolver(SolverConfig(backend="set")).solve(g, k)
+    bitset_result = KDCSolver(SolverConfig(backend="bitset")).solve(g, k)
+    assert bitset_result.size == set_result.size
+    assert is_k_defective_clique(g, bitset_result.clique, k)
+    assert is_maximal_k_defective_clique(g, bitset_result.clique, k)
+
+
+@given(graphs(), st.integers(min_value=0, max_value=4))
+@settings(max_examples=30, deadline=None)
+def test_decomposed_bitset_backend_matches_set_backend(g, k):
+    """Forcing the degeneracy decomposition must not change the optimum."""
+    set_result = KDCSolver(SolverConfig(backend="set")).solve(g, k)
+    decomposed = KDCSolver(
+        SolverConfig(backend="bitset", decompose_threshold=1)
+    ).solve(g, k)
+    assert decomposed.size == set_result.size
+    assert is_k_defective_clique(g, decomposed.clique, k)
+
+
+@given(graphs(), st.integers(min_value=0, max_value=3))
+@settings(max_examples=20, deadline=None)
+def test_bitset_backend_matches_for_theoretical_variant(g, k):
+    """Backend equivalence also holds with every practical technique disabled."""
+    base = SolverConfig(
+        use_ub1=False, use_ub2=False, use_ub3=False,
+        use_rr3=False, use_rr4=False, use_rr5=False, use_rr6=False,
+        initial_heuristic="none",
+    )
+    from dataclasses import replace
+
+    set_result = KDCSolver(replace(base, backend="set")).solve(g, k)
+    bitset_result = KDCSolver(replace(base, backend="bitset")).solve(g, k)
+    assert bitset_result.size == set_result.size
