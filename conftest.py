@@ -2,7 +2,8 @@
 
 Ensures the ``src`` layout is importable even when the package has not been
 installed (e.g. running ``pytest`` straight from a fresh checkout in an
-offline environment).
+offline environment), and registers the repository's custom markers (also
+declared in ``pyproject.toml`` for installed runs).
 """
 
 import os
@@ -11,3 +12,10 @@ import sys
 _SRC = os.path.join(os.path.dirname(__file__), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: deep/fuzz tier excluded from tier-1 runs (deselect with -m 'not slow')",
+    )

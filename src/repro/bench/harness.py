@@ -49,6 +49,7 @@ def make_solver(
     time_limit: Optional[float] = None,
     node_limit: Optional[int] = None,
     backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ):
     """Instantiate a solver by its paper name.
 
@@ -57,16 +58,21 @@ def make_solver(
     the baseline reimplementations.
 
     ``backend`` overrides the search-state backend of the kDC variants
-    (``"auto"``, ``"set"`` or ``"bitset"``); the baselines have a single
-    implementation and reject any explicit backend.
+    (``"auto"``, ``"set"`` or ``"bitset"``) and ``workers`` the number of
+    decomposition worker processes; the baselines have a single
+    implementation and reject both.
     """
     if name in ("KDBB",):
-        if backend is not None:
-            raise InvalidParameterError("backend selection only applies to the kDC variants")
+        if backend is not None or workers is not None:
+            raise InvalidParameterError(
+                "backend/workers selection only applies to the kDC variants"
+            )
         return KDBBSolver(time_limit=time_limit, node_limit=node_limit)
     if name in ("MADEC", "MADEC+"):
-        if backend is not None:
-            raise InvalidParameterError("backend selection only applies to the kDC variants")
+        if backend is not None or workers is not None:
+            raise InvalidParameterError(
+                "backend/workers selection only applies to the kDC variants"
+            )
         return MADECSolver(time_limit=time_limit, node_limit=node_limit)
     try:
         config = variant_config(name, time_limit=time_limit, node_limit=node_limit)
@@ -74,8 +80,13 @@ def make_solver(
         raise InvalidParameterError(
             f"unknown algorithm {name!r}; expected one of {', '.join(ALGORITHMS)}"
         ) from exc
+    overrides = {}
     if backend is not None:
-        config = dataclass_replace(config, backend=backend)
+        overrides["backend"] = backend
+    if workers is not None:
+        overrides["workers"] = workers
+    if overrides:
+        config = dataclass_replace(config, **overrides)
     return KDCSolver(config, name=name)
 
 
@@ -94,6 +105,9 @@ class InstanceRecord:
     #: search-state backend that ran ("" for the baselines or when the solve
     #: was interrupted before the search phase)
     backend: str = ""
+    #: decomposition worker processes used (0 when the solve never entered
+    #: the degeneracy decomposition, e.g. baselines or whole-graph searches)
+    workers: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         """Return the record as a flat dictionary (for CSV-style reporting)."""
@@ -107,6 +121,7 @@ class InstanceRecord:
             "elapsed_seconds": self.elapsed_seconds,
             "nodes": self.nodes,
             "backend": self.backend,
+            "workers": self.workers,
         }
 
 
@@ -118,14 +133,16 @@ def run_instance(
     collection: str = "",
     instance: str = "",
     backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> InstanceRecord:
     """Run one algorithm on one graph for one ``k`` under a time limit.
 
-    ``backend`` optionally forces the kDC search-state backend; the backend
-    that actually ran (resolved from ``"auto"`` by the solver) is recorded on
-    the returned record.
+    ``backend`` optionally forces the kDC search-state backend and
+    ``workers`` the decomposition worker-process count; what actually ran
+    (backend resolved from ``"auto"``, workers actually used by the
+    decomposition) is recorded on the returned record.
     """
-    solver = make_solver(algorithm, time_limit=time_limit, backend=backend)
+    solver = make_solver(algorithm, time_limit=time_limit, backend=backend, workers=workers)
     start = time.perf_counter()
     result: SolveResult = solver.solve(graph, k)
     elapsed = time.perf_counter() - start
@@ -139,6 +156,7 @@ def run_instance(
         elapsed_seconds=elapsed,
         nodes=result.stats.nodes,
         backend=result.stats.backend,
+        workers=result.stats.workers,
     )
 
 

@@ -17,7 +17,8 @@ from .bounds import (
 )
 from .branching import select_branching_vertex
 from .config import BACKEND_NAMES, VARIANT_NAMES, SolverConfig, variant_config
-from .decompose import solve_decomposed
+from .decompose import build_ego_subproblem, solve_decomposed
+from .parallel import solve_decomposed_parallel
 from .fastpath import (
     BitsetEngine,
     bitset_apply_reductions,
@@ -75,6 +76,8 @@ __all__ = [
     "bitset_ub2_min_degree",
     "bitset_ub3_degree_sequence",
     "solve_decomposed",
+    "solve_decomposed_parallel",
+    "build_ego_subproblem",
     "select_branching_vertex",
     "apply_reductions",
     "apply_rr1",

@@ -66,6 +66,13 @@ class SolverConfig:
     #: from one whole-graph search to the degeneracy decomposition of
     #: :mod:`repro.core.decompose`
     decompose_threshold: int = 128
+    #: worker processes for the degeneracy decomposition: 1 (default) solves
+    #: the ego subproblems sequentially in-process; >= 2 farms them to a
+    #: :mod:`multiprocessing` pool (:mod:`repro.core.parallel`) sharing one
+    #: best-size incumbent.  The optimal size returned is identical for every
+    #: worker count; only wall-clock time changes.  Ignored by the set
+    #: backend and by whole-graph bitset solves.
+    workers: int = 1
     #: wall-clock budget in seconds (None = unlimited)
     time_limit: Optional[float] = None
     #: branch-and-bound node budget (None = unlimited)
@@ -82,6 +89,8 @@ class SolverConfig:
             )
         if self.decompose_threshold < 1:
             raise InvalidParameterError("decompose_threshold must be a positive integer")
+        if self.workers < 1:
+            raise InvalidParameterError("workers must be a positive integer")
         if self.time_limit is not None and self.time_limit <= 0:
             raise InvalidParameterError("time_limit must be positive or None")
         if self.node_limit is not None and self.node_limit <= 0:

@@ -26,12 +26,17 @@ inside ``S``, so ``u`` must have at least ``|S| - 2k`` common neighbours with
 The driver therefore only searches for solutions of size ``>= lb + 1`` where
 ``lb >= k + 1`` (so ``lb + 1 >= k + 2``).  Callers must fall back to the
 whole-graph solve when the incumbent is smaller than ``k + 1`` —
-:meth:`repro.core.solver.KDCSolver._solve_bitset` does exactly that.
+``repro.core.solver`` does exactly that.
+
+The subproblems are independent once the incumbent bound is shared, which is
+what makes them embarrassingly parallel: :mod:`repro.core.parallel` reuses
+:func:`build_ego_subproblem` to run the same decomposition across a
+``multiprocessing`` worker pool.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..graphs.degeneracy import degeneracy_ordering
 from ..graphs.graph import Graph
@@ -39,7 +44,103 @@ from .config import SolverConfig
 from .fastpath import BitsetEngine
 from .result import SearchStats
 
-__all__ = ["solve_decomposed"]
+__all__ = ["build_ego_subproblem", "solve_anchor", "solve_decomposed"]
+
+
+def solve_anchor(
+    neighbors: Callable[[int], Sequence[int]],
+    position: Mapping[int, int],
+    v: int,
+    k: int,
+    config: SolverConfig,
+    stats: SearchStats,
+    check_budget: Callable[[], None],
+    incumbent: List[int],
+) -> None:
+    """Build and exactly solve the ego subproblem anchored at ``v``.
+
+    The shared per-anchor body of the sequential driver and the parallel
+    driver's lost-worker recovery loop: prunes via
+    :func:`build_ego_subproblem`'s size cap (counted in
+    ``stats.subproblems_pruned``) or runs one engine search (counted in
+    ``stats.subproblems``), growing ``incumbent`` in place.
+    """
+    sub = build_ego_subproblem(neighbors, position, v, len(incumbent), k)
+    if sub is None:
+        stats.subproblems_pruned += 1
+        return
+    stats.subproblems += 1
+    local_vertices, adj_bits = sub
+    engine = BitsetEngine(config, stats, check_budget, incumbent, to_global=local_vertices)
+    engine.run(adj_bits, (1 << len(local_vertices)) - 1, k, forced=0)
+
+
+def build_ego_subproblem(
+    neighbors: Callable[[int], Sequence[int]],
+    position: Mapping[int, int],
+    v: int,
+    lower_bound: int,
+    k: int,
+) -> Optional[Tuple[List[int], List[int]]]:
+    """Build the ego subproblem anchored at ``v``, or ``None`` if it cannot win.
+
+    Parameters
+    ----------
+    neighbors:
+        Adjacency accessor over the instance graph (``neighbors(u)`` yields
+        the neighbours of ``u``); vertices are integer ids with an entry in
+        ``position``.
+    position:
+        Vertex -> rank in the degeneracy ordering.
+    v:
+        Anchor vertex; the subproblem searches solutions containing ``v`` as
+        their lowest-ranked vertex.
+    lower_bound:
+        Current incumbent size (``>= k + 1``, see module docstring); only
+        solutions of size ``>= lower_bound + 1`` are searched for.
+    k:
+        Defectiveness parameter.
+
+    Returns
+    -------
+    ``(local_vertices, adj_bits)`` where ``local_vertices[0] == v`` maps
+    local ids back to instance ids and ``adj_bits`` is the packed local
+    adjacency — or ``None`` when the incumbent size cap already proves no
+    solution anchored at ``v`` can beat ``lower_bound``.
+    """
+    pos_v = position[v]
+    higher = [u for u in neighbors(v) if position[u] > pos_v]
+    # A solution with v lowest-ranked has at most 1 + |N⁺(v)| + k vertices
+    # (each of the <= k non-neighbours of v costs one of the k missing
+    # edges), so small ego nets cannot beat the incumbent.
+    if 1 + len(higher) + k <= lower_bound:
+        return None
+
+    target = lower_bound + 1
+    higher_set = set(higher)
+    # Two-hop candidates: higher-ranked non-neighbours of v reachable
+    # through N⁺(v), filtered by the common-neighbour lower bound
+    # |N(u) ∩ N(v) ∩ S| >= target - 2k (diameter-2 argument above).
+    cn_count: Dict[int, int] = {}
+    for w in higher:
+        for u in neighbors(w):
+            if u != v and u not in higher_set and position[u] > pos_v:
+                cn_count[u] = cn_count.get(u, 0) + 1
+    cn_threshold = max(1, target - 2 * k)
+    two_hop = [u for u, c in cn_count.items() if c >= cn_threshold]
+
+    local_vertices = [v] + higher + two_hop
+    local_index = {u: i for i, u in enumerate(local_vertices)}
+    width = len(local_vertices)
+    adj_bits = [0] * width
+    for u, i in local_index.items():
+        row = 0
+        for w in neighbors(u):
+            j = local_index.get(w)
+            if j is not None:
+                row |= 1 << j
+        adj_bits[i] = row
+    return local_vertices, adj_bits
 
 
 def solve_decomposed(
@@ -76,47 +177,16 @@ def solve_decomposed(
             "solve_decomposed requires an incumbent of size >= k + 1; "
             "fall back to the whole-graph bitset solve instead"
         )
+    stats.workers = 1
     decomposition = degeneracy_ordering(working)
     position = decomposition.position
+    neighbors = working.neighbors
 
     # Process anchors in reverse peeling order: the densest part of the graph
     # (where the maximum solution almost always lives) is searched first, so
-    # the incumbent tightens early and the cheap size cap below skips most of
-    # the remaining, sparser ego nets without building them.
+    # the incumbent tightens early and the cheap size cap in
+    # build_ego_subproblem skips most of the remaining, sparser ego nets
+    # without building them.
     for v in reversed(decomposition.ordering):
         check_budget()
-        pos_v = position[v]
-        higher = [u for u in working.neighbors(v) if position[u] > pos_v]
-        # A solution with v lowest-ranked has at most 1 + |N⁺(v)| + k
-        # vertices (each of the <= k non-neighbours of v costs one of the k
-        # missing edges), so small ego nets cannot beat the incumbent.
-        if 1 + len(higher) + k <= len(incumbent):
-            continue
-
-        target = len(incumbent) + 1
-        higher_set = set(higher)
-        # Two-hop candidates: higher-ranked non-neighbours of v reachable
-        # through N⁺(v), filtered by the common-neighbour lower bound
-        # |N(u) ∩ N(v) ∩ S| >= target - 2k (diameter-2 argument above).
-        cn_count: Dict[int, int] = {}
-        for w in higher:
-            for u in working.neighbors(w):
-                if u != v and u not in higher_set and position[u] > pos_v:
-                    cn_count[u] = cn_count.get(u, 0) + 1
-        cn_threshold = max(1, target - 2 * k)
-        two_hop = [u for u, c in cn_count.items() if c >= cn_threshold]
-
-        local_vertices = [v] + higher + two_hop
-        local_index = {u: i for i, u in enumerate(local_vertices)}
-        width = len(local_vertices)
-        adj_bits = [0] * width
-        for u, i in local_index.items():
-            row = 0
-            for w in working.neighbors(u):
-                j = local_index.get(w)
-                if j is not None:
-                    row |= 1 << j
-            adj_bits[i] = row
-
-        engine = BitsetEngine(config, stats, check_budget, incumbent, to_global=local_vertices)
-        engine.run(adj_bits, (1 << width) - 1, k, forced=0)
+        solve_anchor(neighbors, position, v, k, config, stats, check_budget, incumbent)

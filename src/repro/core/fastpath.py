@@ -29,7 +29,6 @@ RR5/UB pruning discards most of them without branching.
 
 from __future__ import annotations
 
-import sys
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from .bitset_state import BitsetSearchState, bits_of
@@ -49,9 +48,6 @@ __all__ = [
     "bitset_select_branching_vertex",
     "BitsetEngine",
 ]
-
-#: Recursion depth head-room added on top of the candidate-set size.
-_RECURSION_MARGIN = 256
 
 
 # --------------------------------------------------------------------------- #
@@ -510,19 +506,99 @@ class BitsetEngine:
         forced:
             Optional local vertex id committed to ``S`` before branching
             (the decomposition forces each subproblem's anchor vertex).
+
+        Notes
+        -----
+        The search is driven by an explicit stack rather than recursion:
+        instances are popped and processed in exactly the recursive DFS
+        order (node, then its include subtree, then its exclude subtree), so
+        node counts, pruning decisions and the returned sizes are identical
+        to the earlier recursive engine — but arbitrarily deep branches
+        need no ``sys.setrecursionlimit`` fiddling, which matters inside
+        :mod:`multiprocessing` workers, and the per-node budget poll happens
+        at the single loop head.
         """
         state = BitsetSearchState.initial(adj, k, vertices_bits)
         if forced is not None:
             state.add_to_solution(forced)
-        depth_needed = state.instance_size + _RECURSION_MARGIN
-        old_limit = sys.getrecursionlimit()
-        if old_limit < depth_needed:
-            sys.setrecursionlimit(depth_needed)
-        try:
-            self._branch(state, depth=1)
-        finally:
-            if sys.getrecursionlimit() != old_limit:
-                sys.setrecursionlimit(old_limit)
+
+        config = self.config
+        stats = self.stats
+        check_budget = self.check_budget
+        # Stack frames: (state, depth, rr1_dirty, rr5_dirty).  Pushing the
+        # exclude branch below the include branch reproduces the recursive
+        # visit order, so both engines explore — and prune — identically.
+        stack: List[Tuple[BitsetSearchState, int, bool, bool]] = [(state, 1, True, True)]
+        while stack:
+            state, depth, rr1_dirty, rr5_dirty = stack.pop()
+            check_budget()
+            stats.nodes += 1
+            if depth > stats.max_depth:
+                stats.max_depth = depth
+
+            # Line 4: reduction rules.  The dirty flags encode how this state
+            # was reached (see bitset_apply_reductions): an exclude branch
+            # cannot re-enable RR1, an include branch with an unchanged
+            # incumbent cannot re-enable RR5.
+            lb_used = len(self.incumbent)
+            if bitset_apply_reductions(
+                state, config, lower_bound=lb_used, stats=stats,
+                rr1_dirty=rr1_dirty, rr5_dirty=rr5_dirty,
+            ):
+                continue
+
+            # Line 5: if the whole instance graph is a k-defective clique, record it.
+            if state.is_defective_clique():
+                stats.leaves += 1
+                self._record(state.graph_vertices())
+                continue
+
+            # Upper-bound pruning, cheapest bound first (no-op for kDC-t).
+            # UB2 needs no candidate scan at all; UB3 and UB1 reuse one
+            # materialised candidate list; the degree scan is deferred past
+            # all three bounds.
+            incumbent = len(self.incumbent)
+            if config.use_ub2 and bitset_ub2_min_degree(state) <= incumbent:
+                stats.prunes_by_bound += 1
+                continue
+            cand_list = bits_of(state.cand_bits)
+            if config.use_ub3 and bitset_ub3_degree_sequence(state, cand_list) <= incumbent:
+                stats.prunes_by_bound += 1
+                continue
+
+            # One shared degree scan for UB1's coloring order and the
+            # branching rule (the state is not mutated in between).
+            # Recomputing the order from *current* instance degrees keeps UB1
+            # as tight as the set backend's; a static order was measured to
+            # cost far more nodes than the per-node sort saves.
+            adj_rows = state.adj
+            verts = state.solution_bits | state.cand_bits
+            degrees = [0] * len(adj_rows)
+            for v in cand_list:
+                degrees[v] = (adj_rows[v] & verts).bit_count()
+
+            if config.use_ub1 and bitset_ub1_improved_coloring(state, cand_list, degrees) <= incumbent:
+                stats.prunes_by_bound += 1
+                continue
+
+            # The partial solution S itself is a valid k-defective clique.
+            self._record(state.solution)
+
+            # Line 6: branching vertex via rule BR.
+            branching_vertex = bitset_select_branching_vertex(state, degrees, cand_list)
+            if branching_vertex is None:
+                continue
+
+            # Line 7/8: the include branch copies the state, the exclude
+            # branch mutates it in place (it is not needed otherwise).  The
+            # include branch changes no degree, so RR5 stays at its fixpoint
+            # unless the incumbent moved during this node; the exclude branch
+            # leaves S untouched, so RR1 (incumbent-independent) stays clean.
+            left = state.copy()
+            left.add_to_solution(branching_vertex)
+            state.remove_candidate(branching_vertex)
+            stack.append((state, depth + 1, False, True))
+            stack.append((left, depth + 1, True, len(self.incumbent) != lb_used))
 
     # -------------------------------------------------------------- #
     def _record(self, vertices: List[int]) -> None:
@@ -531,81 +607,3 @@ class BitsetEngine:
                 vertices = [self.to_global[v] for v in vertices]
             self.incumbent[:] = vertices
             self.stats.improvements += 1
-
-    def _branch(
-        self,
-        state: BitsetSearchState,
-        depth: int,
-        rr1_dirty: bool = True,
-        rr5_dirty: bool = True,
-    ) -> None:
-        self.check_budget()
-        stats = self.stats
-        stats.nodes += 1
-        if depth > stats.max_depth:
-            stats.max_depth = depth
-        config = self.config
-
-        # Line 4: reduction rules.  The dirty flags encode how this state was
-        # reached (see bitset_apply_reductions): an exclude branch cannot
-        # re-enable RR1, an include branch with an unchanged incumbent cannot
-        # re-enable RR5.
-        lb_used = len(self.incumbent)
-        if bitset_apply_reductions(
-            state, config, lower_bound=lb_used, stats=stats,
-            rr1_dirty=rr1_dirty, rr5_dirty=rr5_dirty,
-        ):
-            return
-
-        # Line 5: if the whole instance graph is a k-defective clique, record it.
-        if state.is_defective_clique():
-            stats.leaves += 1
-            self._record(state.graph_vertices())
-            return
-
-        # Upper-bound pruning, cheapest bound first (no-op for kDC-t).  UB2
-        # needs no candidate scan at all; UB3 and UB1 reuse one materialised
-        # candidate list; the degree scan is deferred past all three bounds.
-        incumbent = len(self.incumbent)
-        if config.use_ub2 and bitset_ub2_min_degree(state) <= incumbent:
-            stats.prunes_by_bound += 1
-            return
-        cand_list = bits_of(state.cand_bits)
-        if config.use_ub3 and bitset_ub3_degree_sequence(state, cand_list) <= incumbent:
-            stats.prunes_by_bound += 1
-            return
-
-        # One shared degree scan for UB1's coloring order and the branching
-        # rule (the state is not mutated in between).  Recomputing the order
-        # from *current* instance degrees keeps UB1 as tight as the set
-        # backend's; a static order was measured to cost far more nodes than
-        # the per-node sort saves.
-        adj = state.adj
-        verts = state.solution_bits | state.cand_bits
-        degrees = [0] * len(adj)
-        for v in cand_list:
-            degrees[v] = (adj[v] & verts).bit_count()
-
-        if config.use_ub1 and bitset_ub1_improved_coloring(state, cand_list, degrees) <= incumbent:
-            stats.prunes_by_bound += 1
-            return
-
-        # The partial solution S itself is a valid k-defective clique.
-        self._record(state.solution)
-
-        # Line 6: branching vertex via rule BR.
-        branching_vertex = bitset_select_branching_vertex(state, degrees, cand_list)
-        if branching_vertex is None:
-            return
-
-        # Line 7: left branch includes the branching vertex.  No degree
-        # changed, so RR5 stays at its fixpoint unless the incumbent moved.
-        left = state.copy()
-        left.add_to_solution(branching_vertex)
-        self._branch(left, depth + 1, rr1_dirty=True,
-                     rr5_dirty=len(self.incumbent) != lb_used)
-
-        # Line 8: right branch excludes it; mutate in place.  S is untouched,
-        # so RR1 (which does not depend on the incumbent) stays clean.
-        state.remove_candidate(branching_vertex)
-        self._branch(state, depth + 1, rr1_dirty=False, rr5_dirty=True)

@@ -80,7 +80,7 @@ def degen_opt(
     to ``u``, appending ``u`` to the sub-solution keeps it a k-defective
     clique.  The largest of the ``n + 1`` solutions is returned.
 
-    ``budget_check`` (typically ``KDCSolver._check_budget``) is polled once
+    ``budget_check`` (typically the solve run's budget check) is polled once
     per vertex; when it raises
     :class:`~repro.exceptions.BudgetExceededError` the best solution found
     *so far* is returned — callers that need to know the budget fired should

@@ -239,7 +239,7 @@ def preprocess_graph(
     exhaustively applying RR6 then reduces it to its ``(lb - k + 1)``-truss.
     The graph is modified **in place** and also returned for convenience.
 
-    ``budget_check`` (typically ``KDCSolver._check_budget``) is polled before
+    ``budget_check`` (typically the solve run's budget check) is polled before
     each reduction phase and, forwarded into the core/truss peeling loops,
     every few thousand steps *within* each phase; a raised
     :class:`~repro.exceptions.BudgetExceededError` propagates to the caller.

@@ -45,6 +45,17 @@ class SearchStats:
     #: backend was reached — baselines, or a solve interrupted before the
     #: search phase
     backend: str = ""
+    #: decomposition ego subproblems actually searched (0 when the solve
+    #: never entered the degeneracy decomposition)
+    subproblems: int = 0
+    #: decomposition anchors skipped outright because the incumbent size cap
+    #: proved their ego net could not contain a larger solution
+    subproblems_pruned: int = 0
+    #: worker processes used by the decomposition (1 = sequential in-process;
+    #: 0 when the solve never entered the decomposition).  A parallel solve
+    #: degraded to sequential by lost-worker recovery reports 1, so timing
+    #: consumers never over-state parallelism.
+    workers: int = 0
 
     def count_reduction(self, rule: str, amount: int = 1) -> None:
         """Increment the removal counter of a reduction rule."""
@@ -65,10 +76,33 @@ class SearchStats:
             "preprocess_removed_edges": self.preprocess_removed_edges,
             "elapsed_seconds": self.elapsed_seconds,
             "backend": self.backend,
+            "subproblems": self.subproblems,
+            "subproblems_pruned": self.subproblems_pruned,
+            "workers": self.workers,
         }
         for rule, count in sorted(self.reductions.items()):
             data[f"removed_{rule}"] = count
         return data
+
+    def merge_from(self, other: "SearchStats") -> None:
+        """Fold the counters of ``other`` into this object.
+
+        Used by the parallel decomposition driver to aggregate the
+        per-worker statistics into the owning solve's counters.  Additive
+        counters are summed, ``max_depth`` is maximised; phase-level fields
+        (``initial_solution_size``, ``elapsed_seconds``, ``backend``,
+        ``workers``) belong to the owning solve and are left untouched.
+        """
+        self.nodes += other.nodes
+        self.max_depth = max(self.max_depth, other.max_depth)
+        self.prunes_by_bound += other.prunes_by_bound
+        self.leaves += other.leaves
+        self.rr2_additions += other.rr2_additions
+        self.improvements += other.improvements
+        self.subproblems += other.subproblems
+        self.subproblems_pruned += other.subproblems_pruned
+        for rule, count in other.reductions.items():
+            self.count_reduction(rule, count)
 
 
 @dataclass

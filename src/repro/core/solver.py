@@ -25,7 +25,10 @@ Two interchangeable search-state backends implement the branch-and-bound:
   heuristic lower bound of at least ``k + 1``), the bitset backend further
   switches to the degeneracy decomposition of :mod:`repro.core.decompose`,
   which solves one small ego subproblem per vertex while threading the shared
-  incumbent through as the lower bound.
+  incumbent through as the lower bound.  With ``SolverConfig.workers >= 2``
+  those ego subproblems run across a :mod:`multiprocessing` pool
+  (:mod:`repro.core.parallel`) broadcasting the best size through shared
+  memory; the optimal size returned is identical for every worker count.
 
 ``SolverConfig.backend`` selects between them; the default ``"auto"`` uses
 the bitset backend whenever the reduced instance has at least
@@ -33,14 +36,25 @@ the bitset backend whenever the reduced instance has at least
 optimal sizes; the bitset path is simply much faster on non-toy inputs.
 
 Budgets (``time_limit`` / ``node_limit``) are enforced during *all* phases:
-the initial heuristic, the RR5/RR6 preprocessing, and the search itself all
-check the deadline periodically, and an interrupted solve returns the best
-solution found so far with ``optimal=False``.
+the initial heuristic, the RR5/RR6 preprocessing, and the search itself
+(including parallel workers) all check the deadline periodically, and an
+interrupted solve returns the best solution found so far with
+``optimal=False``.
+
+Re-entrancy
+-----------
+All per-solve state (incumbent, statistics, deadline) lives in a
+:class:`_SolveRun` created afresh by every :meth:`KDCSolver.solve` call;
+the solver object itself holds only immutable configuration.  One
+``KDCSolver`` instance may therefore be shared freely — reused sequentially,
+called from several threads, or handed to worker dispatch — without one
+solve corrupting another.
 """
 
 from __future__ import annotations
 
 import sys
+import threading
 import time
 from typing import List, Optional
 
@@ -54,6 +68,7 @@ from .defective import validate_k
 from .fastpath import BitsetEngine
 from .heuristics import initial_solution
 from .instance import SearchState
+from .parallel import solve_decomposed_parallel
 from .reductions import apply_reductions, preprocess_graph
 from .result import SearchStats, SolveResult
 
@@ -72,68 +87,53 @@ _AUTO_BITSET_MIN_VERTICES = 32
 #: O(n + m) set backend instead of risking an out-of-memory abort.
 _BITSET_WHOLE_GRAPH_MAX_VERTICES = 20_000
 
+#: Serialises recursion-limit raises so concurrent set-backend solves never
+#: observe a limit below what they asked for.
+_RECURSION_LIMIT_LOCK = threading.Lock()
 
-class KDCSolver:
-    """Exact maximum k-defective clique solver implementing the paper's kDC algorithm.
 
-    Parameters
-    ----------
-    config:
-        Feature flags and budgets; defaults to the full kDC configuration.
-    name:
-        Optional human-readable algorithm name recorded in results (defaults
-        to ``"kDC"`` or ``"kDC-t"`` depending on the configuration).
+def _ensure_recursion_limit(depth_needed: int) -> None:
+    """Raise the interpreter recursion limit to at least ``depth_needed``.
 
-    Notes
-    -----
-    A solver instance may be reused for many ``solve`` calls but is not
-    re-entrant: concurrent calls on the same instance are not supported.
+    The limit is only ever *increased* and never restored: a save/restore
+    would race between concurrent solves (one thread restoring a small limit
+    while another is still deep in recursion), whereas a monotone raise is
+    safe — the limit is a guard against runaway recursion, and a deliberate
+    deep search on this thread justifies keeping it for the process.
+    """
+    with _RECURSION_LIMIT_LOCK:
+        if sys.getrecursionlimit() < depth_needed:
+            sys.setrecursionlimit(depth_needed)
+
+
+class _SolveRun:
+    """All mutable state of one ``solve`` call.
+
+    Created afresh per call so that a shared :class:`KDCSolver` instance is
+    re-entrant: two concurrent or interleaved solves each own their
+    incumbent, statistics and budget clock.
     """
 
-    def __init__(self, config: Optional[SolverConfig] = None, name: Optional[str] = None) -> None:
-        self.config = config if config is not None else SolverConfig()
-        if name is not None:
-            self.name = name
-        else:
-            self.name = "kDC" if self.config.uses_practical_techniques else "kDC-t"
-        # Per-solve fields (set up by :meth:`solve`).
-        self._stats: SearchStats = SearchStats()
-        self._best: List[int] = []
-        self._deadline: Optional[float] = None
-        self._node_limit: Optional[int] = None
-
-    # ------------------------------------------------------------------ #
-    # Public API
-    # ------------------------------------------------------------------ #
-    def solve(self, graph: Graph, k: int) -> SolveResult:
-        """Compute a maximum k-defective clique of ``graph``.
-
-        Parameters
-        ----------
-        graph:
-            Input graph (not modified).
-        k:
-            Number of tolerated missing edges (``k >= 0``).
-
-        Returns
-        -------
-        SolveResult
-            The best clique found, with ``optimal=True`` unless a budget was hit.
-        """
-        validate_k(k)
-        config = self.config
-        stats = SearchStats()
-        self._stats = stats
+    def __init__(self, config: SolverConfig, name: str) -> None:
+        self.config = config
+        self.name = name
+        self.stats = SearchStats()
+        self.best: List[int] = []
         start = time.perf_counter()
-        self._deadline = start + config.time_limit if config.time_limit is not None else None
-        self._node_limit = config.node_limit
+        self.start = start
+        self.deadline = start + config.time_limit if config.time_limit is not None else None
+        self.node_limit = config.node_limit
+
+    # ------------------------------------------------------------------ #
+    def execute(self, graph: Graph, k: int) -> SolveResult:
+        config = self.config
+        stats = self.stats
 
         if graph.num_vertices == 0:
-            stats.elapsed_seconds = time.perf_counter() - start
+            stats.elapsed_seconds = time.perf_counter() - self.start
             return SolveResult(clique=[], size=0, k=k, optimal=True, algorithm=self.name, stats=stats)
 
         relabeled, _, to_label = graph.relabel()
-        self._best = []
         optimal = True
         try:
             # Line 1 of Algorithm 2: heuristic initial solution.  The
@@ -143,8 +143,8 @@ class KDCSolver:
             best = initial_solution(
                 relabeled, k, config.initial_heuristic, budget_check=self._check_budget
             )
-            self._best = list(best)
-            stats.initial_solution_size = len(self._best)
+            self.best = list(best)
+            stats.initial_solution_size = len(self.best)
             self._check_budget()
 
             # Line 2 of Algorithm 2: reduce the input graph using the initial
@@ -154,7 +154,7 @@ class KDCSolver:
                 preprocess_graph(
                     working,
                     k,
-                    lower_bound=len(self._best),
+                    lower_bound=len(self.best),
                     use_rr5=config.use_rr5,
                     use_rr6=config.use_rr6,
                     stats=stats,
@@ -171,8 +171,8 @@ class KDCSolver:
         except BudgetExceededError:
             optimal = False
 
-        stats.elapsed_seconds = time.perf_counter() - start
-        labels = [to_label[v] for v in self._best]
+        stats.elapsed_seconds = time.perf_counter() - self.start
+        labels = [to_label[v] for v in self.best]
         try:
             clique = sorted(labels)
         except TypeError:  # mixed, unorderable vertex labels
@@ -186,8 +186,6 @@ class KDCSolver:
             stats=stats,
         )
 
-    # ------------------------------------------------------------------ #
-    # Internals
     # ------------------------------------------------------------------ #
     def _resolve_backend(self, working: Graph, k: int) -> str:
         """Map ``config.backend`` to the concrete backend used for ``working``.
@@ -205,7 +203,7 @@ class KDCSolver:
             backend = "bitset" if working.num_vertices >= _AUTO_BITSET_MIN_VERTICES else "set"
         if backend == "bitset":
             decomposable = (
-                working.num_vertices >= config.decompose_threshold and len(self._best) >= k + 1
+                working.num_vertices >= config.decompose_threshold and len(self.best) >= k + 1
             )
             if not decomposable and working.num_vertices > _BITSET_WHOLE_GRAPH_MAX_VERTICES:
                 return "set"
@@ -215,15 +213,8 @@ class KDCSolver:
         """Branch-and-bound over the dict/set :class:`SearchState` backend."""
         adj = self._adjacency_list(working, total_vertices)
         state = SearchState.initial(adj, k, vertices=working.vertex_set())
-        depth_needed = len(state.candidates) + _RECURSION_MARGIN
-        old_limit = sys.getrecursionlimit()
-        if old_limit < depth_needed:
-            sys.setrecursionlimit(depth_needed)
-        try:
-            self._branch(state, depth=1)
-        finally:
-            if sys.getrecursionlimit() != old_limit:
-                sys.setrecursionlimit(old_limit)
+        _ensure_recursion_limit(len(state.candidates) + _RECURSION_MARGIN)
+        self._branch(state, depth=1)
 
     def _solve_bitset(self, working: Graph, k: int) -> None:
         """Branch-and-bound over packed adjacency bitmaps (optionally decomposed).
@@ -231,11 +222,23 @@ class KDCSolver:
         Large instances (``>= config.decompose_threshold`` vertices) with a
         usable lower bound (``>= k + 1``, required by the diameter-2 argument
         of :mod:`repro.core.decompose`) are split into per-vertex ego
-        subproblems; everything else is one whole-graph bitset search.
+        subproblems — across a worker pool when ``config.workers >= 2`` —
+        and everything else is one whole-graph bitset search.
         """
         config = self.config
-        if working.num_vertices >= config.decompose_threshold and len(self._best) >= k + 1:
-            solve_decomposed(working, k, config, self._stats, self._check_budget, self._best)
+        if working.num_vertices >= config.decompose_threshold and len(self.best) >= k + 1:
+            if config.workers >= 2:
+                deadline = None
+                if self.deadline is not None:
+                    # Translate the perf_counter deadline into the monotonic
+                    # clock, which is meaningful across processes.
+                    deadline = time.monotonic() + (self.deadline - time.perf_counter())
+                solve_decomposed_parallel(
+                    working, k, config, self.stats, self._check_budget, self.best,
+                    deadline=deadline, node_limit=self.node_limit,
+                )
+            else:
+                solve_decomposed(working, k, config, self.stats, self._check_budget, self.best)
             return
         # Compact local ids so masks are only as wide as the (reduced)
         # instance; degree-descending assignment keeps the id space
@@ -249,7 +252,7 @@ class KDCSolver:
             for u in working.neighbors(v):
                 row |= 1 << local_index[u]
             adj_bits[i] = row
-        engine = BitsetEngine(config, self._stats, self._check_budget, self._best, to_global=to_global)
+        engine = BitsetEngine(config, self.stats, self._check_budget, self.best, to_global=to_global)
         engine.run(adj_bits, (1 << width) - 1, k)
 
     @staticmethod
@@ -261,27 +264,27 @@ class KDCSolver:
         return adj
 
     def _check_budget(self) -> None:
-        if self._deadline is not None and time.perf_counter() > self._deadline:
+        if self.deadline is not None and time.perf_counter() > self.deadline:
             raise BudgetExceededError("time limit exceeded")
-        if self._node_limit is not None and self._stats.nodes >= self._node_limit:
+        if self.node_limit is not None and self.stats.nodes >= self.node_limit:
             raise BudgetExceededError("node limit exceeded")
 
     def _record_solution(self, vertices: List[int]) -> None:
-        if len(vertices) > len(self._best):
-            self._best = list(vertices)
-            self._stats.improvements += 1
+        if len(vertices) > len(self.best):
+            self.best = list(vertices)
+            self.stats.improvements += 1
 
     def _branch(self, state: SearchState, depth: int) -> None:
         """Procedure Branch&Bound of Algorithms 1/2."""
         self._check_budget()
-        stats = self._stats
+        stats = self.stats
         stats.nodes += 1
         if depth > stats.max_depth:
             stats.max_depth = depth
         config = self.config
 
         # Line 4: reduction rules.
-        prune = apply_reductions(state, config, lower_bound=len(self._best), stats=stats)
+        prune = apply_reductions(state, config, lower_bound=len(self.best), stats=stats)
         if prune:
             return
 
@@ -296,7 +299,7 @@ class KDCSolver:
         # one of them prunes the instance; this changes nothing about which
         # instances survive, only how much work is spent deciding it.
         if config.use_ub1 or config.use_ub2 or config.use_ub3:
-            incumbent = len(self._best)
+            incumbent = len(self.best)
             pruned = (
                 (config.use_ub2 and ub2_min_degree(state) <= incumbent)
                 or (config.use_ub3 and ub3_degree_sequence(state) <= incumbent)
@@ -324,6 +327,51 @@ class KDCSolver:
         # afterwards, so it is mutated in place instead of copied.
         state.remove_candidate(branching_vertex)
         self._branch(state, depth + 1)
+
+
+class KDCSolver:
+    """Exact maximum k-defective clique solver implementing the paper's kDC algorithm.
+
+    Parameters
+    ----------
+    config:
+        Feature flags and budgets; defaults to the full kDC configuration.
+    name:
+        Optional human-readable algorithm name recorded in results (defaults
+        to ``"kDC"`` or ``"kDC-t"`` depending on the configuration).
+
+    Notes
+    -----
+    The solver object holds only immutable configuration; every ``solve``
+    call owns its state (see :class:`_SolveRun`), so a single instance may
+    be reused — including concurrently — without corruption.
+    """
+
+    def __init__(self, config: Optional[SolverConfig] = None, name: Optional[str] = None) -> None:
+        self.config = config if config is not None else SolverConfig()
+        if name is not None:
+            self.name = name
+        else:
+            self.name = "kDC" if self.config.uses_practical_techniques else "kDC-t"
+
+    def solve(self, graph: Graph, k: int) -> SolveResult:
+        """Compute a maximum k-defective clique of ``graph``.
+
+        Parameters
+        ----------
+        graph:
+            Input graph (not modified).
+        k:
+            Number of tolerated missing edges (``k >= 0``).
+
+        Returns
+        -------
+        SolveResult
+            The best clique found, with ``optimal=True`` unless a budget was hit.
+        """
+        validate_k(k)
+        run = _SolveRun(self.config, self.name)
+        return run.execute(graph, k)
 
 
 def find_maximum_defective_clique(
