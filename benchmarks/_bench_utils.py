@@ -6,11 +6,27 @@ environment variables widen the run:
 
 * ``REPRO_BENCH_SCALE`` — ``tiny`` (default), ``small`` or ``medium``;
 * ``REPRO_BENCH_TIME_LIMIT`` — per-instance budget in seconds (default 2.0).
+
+Machine-readable results
+------------------------
+Every benchmark entry point registers its measurements with a
+:class:`BenchRecorder` (via :func:`bench_recorder`); at the end of the
+session — the conftest fixture for pytest runs, an ``atexit`` hook for
+``python benchmarks/bench_*.py`` runs — each recorder is flushed to
+``BENCH_<name>.json`` so the perf trajectory (instances, wall-clock, nodes,
+backend/engine/workers) is tracked across PRs.  ``REPRO_BENCH_JSON_DIR``
+selects the output directory (default: the current working directory); CI
+uploads the files as artifacts.
 """
 
 from __future__ import annotations
 
+import atexit
+import json
 import os
+import platform
+import time
+from typing import Dict, List, Optional
 
 
 def bench_scale() -> str:
@@ -21,3 +37,100 @@ def bench_scale() -> str:
 def bench_time_limit() -> float:
     """Return the per-instance time limit (seconds) used by the benchmark suite."""
     return float(os.environ.get("REPRO_BENCH_TIME_LIMIT", "2.0"))
+
+
+class BenchRecorder:
+    """Accumulates one benchmark module's measurements for ``BENCH_<name>.json``."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.records: List[Dict[str, object]] = []
+
+    # ------------------------------------------------------------------ #
+    def record(self, instance: str, **fields: object) -> None:
+        """Append one measurement row (arbitrary flat fields)."""
+        entry: Dict[str, object] = {"instance": instance}
+        entry.update(fields)
+        self.records.append(entry)
+
+    def record_solve(self, instance: str, result, elapsed_seconds: Optional[float] = None,
+                     **fields: object) -> None:
+        """Append one row for a :class:`~repro.core.result.SolveResult`."""
+        stats = result.stats
+        if elapsed_seconds is None:
+            elapsed_seconds = stats.elapsed_seconds
+        self.record(
+            instance,
+            elapsed_seconds=round(float(elapsed_seconds), 6),
+            size=result.size,
+            optimal=result.optimal,
+            nodes=stats.nodes,
+            backend=stats.backend,
+            engine=stats.engine,
+            workers=stats.workers,
+            **fields,
+        )
+
+    def record_benchmark(self, instance: str, benchmark, **fields: object) -> None:
+        """Append one row for a pytest-benchmark measurement (mean wall-clock)."""
+        mean = None
+        stats = getattr(benchmark, "stats", None)
+        if stats is not None:
+            try:
+                mean = round(float(stats.stats.mean), 6)
+            except AttributeError:
+                mean = None
+        self.record(instance, elapsed_seconds=mean, **fields)
+
+    def record_experiment(self, result, elapsed_seconds: float) -> None:
+        """Append the per-instance records of an ExperimentResult (or its data summary)."""
+        self.record("__sweep__", elapsed_seconds=round(float(elapsed_seconds), 6))
+        if result.records:
+            for record in result.records:
+                self.records.append(dict(record.as_dict()))
+        else:
+            for key, value in result.data.items():
+                self.record(str(key), **(value if isinstance(value, dict) else {"value": value}))
+
+    # ------------------------------------------------------------------ #
+    def write(self, directory: Optional[str] = None) -> str:
+        """Write ``BENCH_<name>.json`` and return its path."""
+        directory = directory or os.environ.get("REPRO_BENCH_JSON_DIR", ".")
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"BENCH_{self.name}.json")
+        payload = {
+            "bench": self.name,
+            "created_unix": round(time.time(), 3),
+            "scale": bench_scale(),
+            "time_limit": bench_time_limit(),
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+            "records": self.records,
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        return path
+
+
+#: Registry of recorders, keyed by bench name; flushed at session end.
+_RECORDERS: Dict[str, BenchRecorder] = {}
+
+
+def bench_recorder(name: str) -> BenchRecorder:
+    """Return (creating on first use) the session-wide recorder for ``name``."""
+    recorder = _RECORDERS.get(name)
+    if recorder is None:
+        recorder = _RECORDERS[name] = BenchRecorder(name)
+    return recorder
+
+
+def write_all_bench_json(directory: Optional[str] = None) -> List[str]:
+    """Flush every recorder that collected at least one row; return the paths."""
+    return [r.write(directory) for r in _RECORDERS.values() if r.records]
+
+
+# ``python benchmarks/bench_*.py`` runs have no conftest fixture to flush the
+# recorders, so an atexit hook is the backstop (idempotent: rewriting the
+# same payload is harmless).
+atexit.register(write_all_bench_json)

@@ -12,7 +12,9 @@ from __future__ import annotations
 from repro.core import find_maximum_defective_clique
 from repro.datasets import get_collection
 
-from _bench_utils import bench_scale
+from _bench_utils import bench_recorder, bench_scale
+
+_RECORDER = bench_recorder("ablation_theory")
 
 K = 2
 NODE_CAP = 200_000
@@ -37,6 +39,9 @@ def test_kdc_t_vs_kdc_node_counts(benchmark):
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, full, bare in rows:
+        _RECORDER.record_solve(name, full, k=K, column="kDC")
+        _RECORDER.record_solve(name, bare, k=K, column="kDC-t")
     print()
     for name, full, bare in rows:
         bare_state = "optimal" if bare.optimal else f">{NODE_CAP} nodes (capped)"

@@ -18,7 +18,9 @@ from repro.core.bounds import (
 )
 from repro.datasets import all_collections
 
-from _bench_utils import bench_scale
+from _bench_utils import bench_recorder, bench_scale
+
+_RECORDER = bench_recorder("bounds")
 
 K = 3
 
@@ -53,6 +55,12 @@ def test_ub1_tightness_study(benchmark, root_states):
         return gaps_eq2, gaps_ub3
 
     gaps_eq2, gaps_ub3 = benchmark.pedantic(run, rounds=1, iterations=1)
+    _RECORDER.record_benchmark(
+        "ub1_tightness", benchmark,
+        instances=len(gaps_eq2),
+        mean_gap_eq2=round(sum(gaps_eq2) / len(gaps_eq2), 3),
+        mean_gap_ub3=round(sum(gaps_ub3) / len(gaps_ub3), 3),
+    )
     # UB1 dominates both competing bounds on every instance ...
     assert all(gap >= 0 for gap in gaps_eq2)
     assert all(gap >= 0 for gap in gaps_ub3)
@@ -73,3 +81,4 @@ def test_ub1_evaluation_cost(benchmark, root_states):
 
     value = benchmark(run)
     assert value >= 1
+    _RECORDER.record_benchmark("ub1_evaluation_cost", benchmark, graph_size=state.graph_size)

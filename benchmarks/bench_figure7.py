@@ -8,9 +8,13 @@ scale range over the real_world_like collection.
 
 from __future__ import annotations
 
+import time
+
 from repro.bench import figure7
 
-from _bench_utils import bench_scale, bench_time_limit
+from _bench_utils import bench_recorder, bench_scale, bench_time_limit
+
+_RECORDER = bench_recorder("figure7")
 
 ALGORITHMS = ("kDC", "kDC/RR3&4", "kDC/UB1", "kDC-Degen", "KDBB")
 K_VALUES = (1, 3)
@@ -29,7 +33,9 @@ def _run():
 
 def test_figure7_reproduction(benchmark):
     """Regenerate Figure 7 and check solved counts are monotone in the time limit."""
+    start = time.perf_counter()
     result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    _RECORDER.record_experiment(result, time.perf_counter() - start)
     print("\n" + result.text)
     max_limit = bench_time_limit()
     for k in K_VALUES:

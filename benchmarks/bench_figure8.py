@@ -6,9 +6,13 @@ community structure is where the coloring-based bound UB1 matters most.
 
 from __future__ import annotations
 
+import time
+
 from repro.bench import figure8
 
-from _bench_utils import bench_scale, bench_time_limit
+from _bench_utils import bench_recorder, bench_scale, bench_time_limit
+
+_RECORDER = bench_recorder("figure8")
 
 ALGORITHMS = ("kDC", "kDC/RR3&4", "kDC/UB1", "kDC-Degen", "KDBB")
 K_VALUES = (1, 3)
@@ -27,7 +31,9 @@ def _run():
 
 def test_figure8_reproduction(benchmark):
     """Regenerate Figure 8 and check solved counts are monotone in the time limit."""
+    start = time.perf_counter()
     result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    _RECORDER.record_experiment(result, time.perf_counter() - start)
     print("\n" + result.text)
     max_limit = bench_time_limit()
     for k in K_VALUES:

@@ -9,8 +9,10 @@ The optimal size must be identical at every worker count (the workers only
 share a best-size bound; each subproblem remains an exact search).  The
 wall-clock assertion — >= 1.5x speedup at 4 workers — is only meaningful on
 a machine that actually has >= 4 CPUs, so it is gated on ``os.cpu_count()``;
-on smaller machines the benchmark still verifies agreement and reports the
-(flat) scaling numbers.
+on smaller machines the benchmark still verifies agreement and *records*
+the (flat) scaling numbers into ``BENCH_parallel.json``, so the perf
+trajectory shows what actually happened on the box instead of a silently
+skipped assertion.
 
 Environment knobs: ``REPRO_BENCH_PARALLEL_N`` (default 400) resizes the
 instance.
@@ -23,6 +25,10 @@ import time
 
 from repro.core import KDCSolver, SolverConfig
 from repro.graphs import gnp_random_graph
+
+from _bench_utils import bench_recorder
+
+_RECORDER = bench_recorder("parallel")
 
 #: Worker counts reported in the scaling curve.
 WORKER_COUNTS = (1, 2, 4)
@@ -60,10 +66,11 @@ def test_bench_parallel_4_workers(benchmark):
 
 
 def test_parallel_scaling_report(capsys):
-    """Time every worker count, assert agreement, report the scaling curve."""
+    """Time every worker count, assert agreement, record + report the scaling curve."""
     graph, k = _instance()
     timings = {}
     sizes = {}
+    cpus = os.cpu_count() or 1
     for workers in WORKER_COUNTS:
         start = time.perf_counter()
         result = _solve(graph, k, workers)
@@ -74,10 +81,14 @@ def test_parallel_scaling_report(capsys):
             "the decomposition (and with workers >= 2 the pool) must engage"
         )
         assert result.stats.subproblems > 0
+        speedup = timings[1] / timings[workers] if timings[workers] > 0 else float("inf")
+        _RECORDER.record_solve(
+            f"gnp_{graph.num_vertices}", result, timings[workers], k=k,
+            requested_workers=workers, speedup_vs_1=round(speedup, 3), cpus=cpus,
+        )
 
     assert len(set(sizes.values())) == 1, f"worker counts disagree on size: {sizes}"
 
-    cpus = os.cpu_count() or 1
     with capsys.disabled():
         print(f"\n[parallel-scaling] n={graph.num_vertices} k={k} cpus={cpus}")
         for workers in WORKER_COUNTS:
@@ -104,6 +115,11 @@ if __name__ == "__main__":  # pragma: no cover — ad-hoc scaling runs
         result = _solve(graph, k, workers)
         elapsed = time.perf_counter() - start
         base = base or elapsed
+        _RECORDER.record_solve(
+            f"gnp_{graph.num_vertices}", result, elapsed, k=k,
+            requested_workers=workers, speedup_vs_1=round(base / elapsed, 3),
+            cpus=os.cpu_count(),
+        )
         print(
             f"workers={workers}: size={result.size} optimal={result.optimal} "
             f"subproblems={result.stats.subproblems} time={elapsed:.2f}s "

@@ -12,22 +12,29 @@ from repro.core import KDCSolver, SolverConfig, degen, degen_opt
 from repro.core.reductions import preprocess_graph
 from repro.graphs import degeneracy_ordering, greedy_coloring, k_core, k_truss
 
+from _bench_utils import bench_recorder
+
+_RECORDER = bench_recorder("solver_micro")
+
 
 def test_bench_kdc_solve_k1(benchmark, reference_graph):
     solver = KDCSolver(SolverConfig(time_limit=30.0))
     result = benchmark(lambda: solver.solve(reference_graph, 1))
     assert result.optimal
+    _RECORDER.record_solve("reference_k1", result, k=1)
 
 
 def test_bench_kdc_solve_k3(benchmark, reference_graph):
     solver = KDCSolver(SolverConfig(time_limit=60.0))
     result = benchmark.pedantic(lambda: solver.solve(reference_graph, 3), rounds=1, iterations=1)
     assert result.optimal
+    _RECORDER.record_solve("reference_k3", result, k=3)
 
 
 def test_bench_degen(benchmark, reference_graph):
     solution = benchmark(lambda: degen(reference_graph, 3))
     assert solution
+    _RECORDER.record_benchmark("degen", benchmark, size=len(solution))
 
 
 def test_bench_degen_opt(benchmark, reference_graph):
@@ -50,6 +57,7 @@ def test_bench_preprocessing(benchmark, reference_graph):
 def test_bench_degeneracy_ordering(benchmark, reference_graph):
     result = benchmark(lambda: degeneracy_ordering(reference_graph))
     assert len(result.ordering) == reference_graph.num_vertices
+    _RECORDER.record_benchmark("degeneracy_ordering", benchmark)
 
 
 def test_bench_greedy_coloring(benchmark, reference_graph):

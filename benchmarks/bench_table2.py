@@ -9,9 +9,13 @@ benchmarked quantity is the wall-clock of the full sweep.
 
 from __future__ import annotations
 
+import time
+
 from repro.bench import table2
 
-from _bench_utils import bench_scale, bench_time_limit
+from _bench_utils import bench_recorder, bench_scale, bench_time_limit
+
+_RECORDER = bench_recorder("table2")
 
 K_VALUES = (1, 2, 3, 5)
 ALGORITHMS = ("kDC", "KDBB", "MADEC")
@@ -28,7 +32,9 @@ def _run():
 
 def test_table2_reproduction(benchmark):
     """Regenerate Table 2 and check the headline ordering kDC >= KDBB >= MADEC."""
+    start = time.perf_counter()
     result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    _RECORDER.record_experiment(result, time.perf_counter() - start)
     print("\n" + result.text)
     for collection, solved in result.data.items():
         for k in K_VALUES:

@@ -8,9 +8,13 @@ plays that role.
 
 from __future__ import annotations
 
+import time
+
 from repro.bench import table3
 
-from _bench_utils import bench_scale, bench_time_limit
+from _bench_utils import bench_recorder, bench_scale, bench_time_limit
+
+_RECORDER = bench_recorder("table3")
 
 ALGORITHMS = ("kDC", "kDC/RR3&4", "kDC/UB1", "kDC-Degen", "KDBB")
 K_VALUES = (1, 3)
@@ -28,7 +32,9 @@ def _run():
 
 def test_table3_reproduction(benchmark):
     """Regenerate Table 3 and check that full kDC solves everything its ablations solve."""
+    start = time.perf_counter()
     result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    _RECORDER.record_experiment(result, time.perf_counter() - start)
     print("\n" + result.text)
     solved_by = {algorithm: set() for algorithm in ALGORITHMS}
     for record in result.records:

@@ -7,9 +7,13 @@ full preprocessing (Degen-opt + RR5 + RR6) and the cheap one (Degen + RR5).
 
 from __future__ import annotations
 
+import time
+
 from repro.bench import table4
 
-from _bench_utils import bench_scale
+from _bench_utils import bench_recorder, bench_scale
+
+_RECORDER = bench_recorder("table4")
 
 K_VALUES = (1, 2, 3, 5)
 
@@ -20,7 +24,9 @@ def _run():
 
 def test_table4_reproduction(benchmark):
     """Regenerate Table 4 and check the paper's qualitative claims."""
+    start = time.perf_counter()
     result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    _RECORDER.record_experiment(result, time.perf_counter() - start)
     print("\n" + result.text)
     assert result.data
     for key, values in result.data.items():

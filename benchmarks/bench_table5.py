@@ -7,9 +7,13 @@ grows.
 
 from __future__ import annotations
 
+import time
+
 from repro.bench import table5
 
-from _bench_utils import bench_scale, bench_time_limit
+from _bench_utils import bench_recorder, bench_scale, bench_time_limit
+
+_RECORDER = bench_recorder("table5")
 
 K_VALUES = (1, 2, 3, 5)
 
@@ -20,7 +24,9 @@ def _run():
 
 def test_table5_reproduction(benchmark):
     """Regenerate Table 5 and check the ratios behave as the paper describes."""
+    start = time.perf_counter()
     result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    _RECORDER.record_experiment(result, time.perf_counter() - start)
     print("\n" + result.text)
     for key, agg in result.data.items():
         if agg["count"] == 0:

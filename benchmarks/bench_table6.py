@@ -6,9 +6,13 @@ maximum k-defective clique contains a maximum clique of the graph.
 
 from __future__ import annotations
 
+import time
+
 from repro.bench import table6
 
-from _bench_utils import bench_scale, bench_time_limit
+from _bench_utils import bench_recorder, bench_scale, bench_time_limit
+
+_RECORDER = bench_recorder("table6")
 
 K_VALUES = (1, 2, 3, 5)
 
@@ -19,7 +23,9 @@ def _run():
 
 def test_table6_reproduction(benchmark):
     """Regenerate Table 6 and check the counts are well-formed and substantial for k=1."""
+    start = time.perf_counter()
     result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    _RECORDER.record_experiment(result, time.perf_counter() - start)
     print("\n" + result.text)
     for key, agg in result.data.items():
         assert 0 <= agg["num_extending_max_clique"] <= agg["count"], key

@@ -7,9 +7,13 @@ collection and k; the percentage grows with k.
 
 from __future__ import annotations
 
+import time
+
 from repro.bench import table7
 
-from _bench_utils import bench_scale, bench_time_limit
+from _bench_utils import bench_recorder, bench_scale, bench_time_limit
+
+_RECORDER = bench_recorder("table7")
 
 K_VALUES = (1, 2, 3, 5)
 
@@ -20,7 +24,9 @@ def _run():
 
 def test_table7_reproduction(benchmark):
     """Regenerate Table 7 and check the percentage grows with k."""
+    start = time.perf_counter()
     result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    _RECORDER.record_experiment(result, time.perf_counter() - start)
     print("\n" + result.text)
     for key, agg in result.data.items():
         assert 0.0 <= agg["avg_pct_not_fully_connected"] <= 100.0, key

@@ -4,9 +4,11 @@ Sub-commands
 ------------
 * ``solve``       — find a maximum k-defective clique of a graph file
   (``--backend set|bitset|auto`` selects the search-state backend; the
-  bitset backend adds a degeneracy decomposition on large instances, and
-  ``--workers N`` runs the decomposition's ego subproblems across N
-  processes with no change to the optimal size returned);
+  bitset backend adds a degeneracy decomposition on large instances,
+  ``--engine trail|copy`` picks the branch-and-bound engine, ``--workers N``
+  runs the decomposition's ego subproblems across N processes with no
+  change to the optimal size returned, and ``--stats`` dumps the full
+  search counters);
 * ``compare``     — run several algorithms on one graph and tabulate them;
 * ``top-r``       — top-r maximal or diversified k-defective cliques;
 * ``properties``  — Tables 5–7 style analysis of one graph;
@@ -26,7 +28,7 @@ from typing import List, Optional
 from .analysis.properties import analyze_graph
 from .bench.experiments import EXPERIMENTS, run_experiment
 from .bench.harness import ALGORITHMS, make_solver, run_instance
-from .core.config import BACKEND_NAMES
+from .core.config import BACKEND_NAMES, ENGINE_NAMES
 from .bench.reporting import format_table
 from .core.gamma import complexity_comparison
 from .datasets.collections import COLLECTION_NAMES, SCALES, get_collection
@@ -76,6 +78,22 @@ def build_parser() -> argparse.ArgumentParser:
         "count — only wall-clock time changes.  Takes effect when the bitset "
         "backend decomposes (instance >= decompose-threshold vertices and a "
         "usable heuristic bound); otherwise the solve is sequential",
+    )
+    solve.add_argument(
+        "--engine",
+        default=None,
+        choices=list(ENGINE_NAMES),
+        help="bitset branch-and-bound engine: 'trail' (undo-stack engine with "
+        "worklist reductions and repairable coloring bounds; the default) or "
+        "'copy' (copy-per-child baseline kept for differential testing).  "
+        "Both are exact; the set backend ignores this",
+    )
+    solve.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the full search statistics (nodes, prunes, per-rule "
+        "reductions, trail pushes/pops, dirty-queue drains, recolor "
+        "full/repair counts, ...) after the solve summary",
     )
 
     compare = subparsers.add_parser("compare", help="run several algorithms on one graph and tabulate them")
@@ -127,12 +145,16 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_solve(args: argparse.Namespace) -> int:
     graph = load_graph(args.path, fmt=args.format)
     solver = make_solver(
-        args.algorithm, time_limit=args.time_limit, backend=args.backend, workers=args.workers
+        args.algorithm, time_limit=args.time_limit, backend=args.backend,
+        workers=args.workers, engine=args.engine,
     )
     result = solver.solve(graph, args.k)
     print(result.summary())
     if args.show_vertices:
         print("vertices:", " ".join(str(v) for v in result.clique))
+    if args.stats:
+        for key, value in result.stats.as_dict().items():
+            print(f"{key}: {value}")
     return 0
 
 

@@ -16,13 +16,16 @@ from .bounds import (
     ub3_degree_sequence,
 )
 from .branching import select_branching_vertex
-from .config import BACKEND_NAMES, VARIANT_NAMES, SolverConfig, variant_config
+from .config import BACKEND_NAMES, ENGINE_NAMES, VARIANT_NAMES, SolverConfig, variant_config
 from .decompose import build_ego_subproblem, solve_decomposed
 from .parallel import solve_decomposed_parallel
 from .fastpath import (
     BitsetEngine,
+    ReductionWorklist,
     bitset_apply_reductions,
+    bitset_color_classes,
     bitset_select_branching_vertex,
+    bitset_ub1_from_classes,
     bitset_ub1_improved_coloring,
     bitset_ub2_min_degree,
     bitset_ub3_degree_sequence,
@@ -65,13 +68,17 @@ __all__ = [
     "variant_config",
     "VARIANT_NAMES",
     "BACKEND_NAMES",
+    "ENGINE_NAMES",
     "SolveResult",
     "SearchStats",
     "SearchState",
     "BitsetSearchState",
     "BitsetEngine",
+    "ReductionWorklist",
     "bitset_apply_reductions",
+    "bitset_color_classes",
     "bitset_select_branching_vertex",
+    "bitset_ub1_from_classes",
     "bitset_ub1_improved_coloring",
     "bitset_ub2_min_degree",
     "bitset_ub3_degree_sequence",

@@ -153,10 +153,15 @@ def best_upper_bound(
     use_ub1: bool = True,
     use_ub2: bool = True,
     use_ub3: bool = True,
+    classes: List[List[int]] = None,
 ) -> int:
     """Return the minimum of the enabled upper bounds for ``state``.
 
     When every bound is disabled the trivial bound ``|V(g)|`` is returned.
+    ``classes`` optionally supplies pre-computed colour classes (from
+    :func:`color_candidates`) so a caller that also evaluates
+    :func:`eq2_original_coloring` — or evaluates several bounds per node —
+    colours the candidates exactly once.
     """
     best = state.graph_size
     if use_ub2:
@@ -164,5 +169,7 @@ def best_upper_bound(
     if use_ub3:
         best = min(best, ub3_degree_sequence(state))
     if use_ub1:
-        best = min(best, ub1_improved_coloring(state))
+        if classes is None:
+            classes = color_candidates(state)
+        best = min(best, ub1_improved_coloring(state, classes))
     return best

@@ -56,6 +56,22 @@ class SearchStats:
     #: degraded to sequential by lost-worker recovery reports 1, so timing
     #: consumers never over-state parallelism.
     workers: int = 0
+    #: bitset engine that ran ("trail" or "copy"; "" when the bitset backend
+    #: never ran)
+    engine: str = ""
+    #: trail engine: reversible deltas pushed onto the undo stack
+    trail_pushes: int = 0
+    #: trail engine: deltas popped while backtracking
+    trail_pops: int = 0
+    #: trail engine: vertices drained from the reduction worklist's dirty
+    #: queues (the worklist twin of "candidates scanned per node")
+    dirty_drained: int = 0
+    #: trail engine: coloring-bound full recolors (staleness counter tripped
+    #: or no cached classes)
+    recolor_full: int = 0
+    #: trail engine: coloring-bound repairs (cached classes intersected with
+    #: the surviving candidates instead of recoloring)
+    recolor_repair: int = 0
 
     def count_reduction(self, rule: str, amount: int = 1) -> None:
         """Increment the removal counter of a reduction rule."""
@@ -79,6 +95,12 @@ class SearchStats:
             "subproblems": self.subproblems,
             "subproblems_pruned": self.subproblems_pruned,
             "workers": self.workers,
+            "engine": self.engine,
+            "trail_pushes": self.trail_pushes,
+            "trail_pops": self.trail_pops,
+            "dirty_drained": self.dirty_drained,
+            "recolor_full": self.recolor_full,
+            "recolor_repair": self.recolor_repair,
         }
         for rule, count in sorted(self.reductions.items()):
             data[f"removed_{rule}"] = count
@@ -101,6 +123,11 @@ class SearchStats:
         self.improvements += other.improvements
         self.subproblems += other.subproblems
         self.subproblems_pruned += other.subproblems_pruned
+        self.trail_pushes += other.trail_pushes
+        self.trail_pops += other.trail_pops
+        self.dirty_drained += other.dirty_drained
+        self.recolor_full += other.recolor_full
+        self.recolor_repair += other.recolor_repair
         for rule, count in other.reductions.items():
             self.count_reduction(rule, count)
 

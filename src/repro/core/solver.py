@@ -223,9 +223,13 @@ class _SolveRun:
         usable lower bound (``>= k + 1``, required by the diameter-2 argument
         of :mod:`repro.core.decompose`) are split into per-vertex ego
         subproblems — across a worker pool when ``config.workers >= 2`` —
-        and everything else is one whole-graph bitset search.
+        and everything else is one whole-graph bitset search.  Either way
+        every branch-and-bound runs the engine selected by
+        ``config.engine`` ("trail" undo-stack engine by default, "copy" for
+        the copy-per-child baseline).
         """
         config = self.config
+        self.stats.engine = config.engine
         if working.num_vertices >= config.decompose_threshold and len(self.best) >= k + 1:
             if config.workers >= 2:
                 deadline = None
@@ -297,7 +301,10 @@ class _SolveRun:
         # Upper-bound pruning (Algorithm 2 only; a no-op for kDC-t).  The
         # bounds are evaluated cheapest-first and evaluation stops as soon as
         # one of them prunes the instance; this changes nothing about which
-        # instances survive, only how much work is spent deciding it.
+        # instances survive, only how much work is spent deciding it.  UB1
+        # is the only coloring-based bound evaluated here, so it colours the
+        # candidates itself (callers evaluating UB1 alongside eq2 share one
+        # coloring through best_upper_bound's classes parameter instead).
         if config.use_ub1 or config.use_ub2 or config.use_ub3:
             incumbent = len(self.best)
             pruned = (

@@ -149,6 +149,28 @@ class TestHarnessWiring:
         assert record.backend == "bitset"
         assert record.as_dict()["backend"] == "bitset"
 
+    def test_make_solver_engine_override(self):
+        assert make_solver("kDC", engine="copy").config.engine == "copy"
+        assert make_solver("kDC").config.engine == "trail"
+
+    def test_make_solver_rejects_engine_for_baselines(self):
+        with pytest.raises(InvalidParameterError):
+            make_solver("KDBB", engine="trail")
+
+    def test_run_instance_records_engine_and_trail_counters(self):
+        g = gnp_random_graph(60, 0.3, seed=7)
+        record = run_instance("kDC", g, 2, time_limit=10.0, backend="bitset", engine="trail")
+        assert record.engine == "trail"
+        assert record.trail_pushes == record.trail_pops > 0
+        data = record.as_dict()
+        for key in ("engine", "trail_pushes", "trail_pops", "dirty_drained",
+                    "recolor_full", "recolor_repair"):
+            assert key in data
+        copy_record = run_instance("kDC", g, 2, time_limit=10.0, backend="bitset", engine="copy")
+        assert copy_record.engine == "copy"
+        assert copy_record.trail_pushes == 0
+        assert record.size == copy_record.size
+
     def test_run_instance_baseline_backend_empty(self):
         record = run_instance("KDBB", complete_graph(5), 1, time_limit=10.0)
         assert record.backend == ""
@@ -169,3 +191,24 @@ class TestCLI:
             assert "|C|=" in out
             sizes[backend] = out
         assert sizes["set"].split("|C|=")[1][:2] == sizes["bitset"].split("|C|=")[1][:2]
+
+    def test_solve_with_engine_and_stats_flags(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.graphs import write_edge_list
+
+        g = gnp_random_graph(60, 0.3, seed=9)
+        path = tmp_path / "g.edges"
+        write_edge_list(g, path)
+        outputs = {}
+        for engine in ("copy", "trail"):
+            assert main([
+                "solve", str(path), "-k", "2",
+                "--backend", "bitset", "--engine", engine, "--stats",
+            ]) == 0
+            out = capsys.readouterr().out
+            assert f"engine: {engine}" in out
+            for counter in ("nodes:", "trail_pushes:", "dirty_drained:",
+                            "recolor_full:", "recolor_repair:"):
+                assert counter in out
+            outputs[engine] = out
+        assert outputs["copy"].split("|C|=")[1][:2] == outputs["trail"].split("|C|=")[1][:2]

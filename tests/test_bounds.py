@@ -101,6 +101,15 @@ class TestSimpleBounds:
         state = SearchState.initial(_adjacency(g), k=0)
         assert best_upper_bound(state, use_ub1=False, use_ub2=False, use_ub3=False) == 6
 
+    def test_best_upper_bound_accepts_shared_classes(self):
+        # A caller evaluating eq2 alongside best_upper_bound colours once and
+        # shares the classes; the value must match the recolour-internally path.
+        g = gnp_random_graph(14, 0.4, seed=3)
+        state = SearchState.initial(_adjacency(g), k=2)
+        classes = color_candidates(state)
+        assert best_upper_bound(state, classes=classes) == best_upper_bound(state)
+        assert eq2_original_coloring(state, classes) == eq2_original_coloring(state)
+
 
 class TestSoundnessProperties:
     @given(st.integers(min_value=1, max_value=11), st.floats(min_value=0.1, max_value=0.9),

@@ -1,0 +1,258 @@
+"""Trail (undo-stack) engine tests: copy/trail lockstep and push/pop restoration.
+
+Two properties pin the trail engine to the copy engine:
+
+* **Lockstep** — with ``recolor_period=1`` the trail engine recolors at every
+  node and runs every reduction sweep the copy engine runs, so the two
+  engines must visit *identical DFS node sequences* (same ``(S, cand)``
+  pair at every node, in the same order), the same node counts, and the
+  same optima — on the plain kDC configuration, on kDC-t (Algorithm 1),
+  and through the forced degeneracy decomposition.
+* **Push/pop** — any sequence of trailed transitions followed by a rewind
+  restores the :class:`BitsetSearchState` bit-for-bit, including nested
+  marks, in both edge-tracking modes.
+
+The default configuration (``recolor_period > 1``) legitimately visits a
+different (still exact) tree; those cells are pinned on optima only here and
+exhaustively in ``tests/test_differential.py``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BitsetEngine,
+    BitsetSearchState,
+    KDCSolver,
+    SearchStats,
+    SolverConfig,
+    variant_config,
+)
+from repro.core.bitset_state import bits_of, mask_of
+from repro.graphs import gnp_random_graph
+
+
+def _adjacency_bits(graph):
+    relabeled, _, _ = graph.relabel()
+    n = relabeled.num_vertices
+    adj = [mask_of(relabeled.neighbors(v)) for v in range(n)]
+    return adj, n
+
+
+def _run_engine(adj, n, k, config, forced=None):
+    """Run one engine over the whole instance, capturing its DFS trace."""
+    stats = SearchStats()
+    incumbent: list = []
+    engine = BitsetEngine(config, stats, lambda: None, incumbent)
+    engine.trace = []
+    engine.run(adj, (1 << n) - 1, k, forced=forced)
+    return engine.trace, stats, incumbent
+
+
+def graphs(min_vertices=2, max_vertices=24):
+    return st.builds(
+        gnp_random_graph,
+        st.integers(min_value=min_vertices, max_value=max_vertices),
+        st.floats(min_value=0.05, max_value=0.9),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+
+
+class TestLockstep:
+    @given(graphs(), st.integers(min_value=0, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_trail_matches_copy_dfs_kdc(self, g, k):
+        """Full kDC: identical DFS sequences, node counts and optima at recolor_period=1."""
+        adj, n = _adjacency_bits(g)
+        copy_cfg = SolverConfig(backend="bitset", engine="copy")
+        trail_cfg = SolverConfig(backend="bitset", engine="trail", recolor_period=1)
+        copy_trace, copy_stats, copy_best = _run_engine(adj, n, k, copy_cfg)
+        trail_trace, trail_stats, trail_best = _run_engine(adj, n, k, trail_cfg)
+        assert trail_trace == copy_trace
+        assert trail_stats.nodes == copy_stats.nodes
+        assert trail_stats.prunes_by_bound == copy_stats.prunes_by_bound
+        assert trail_stats.leaves == copy_stats.leaves
+        assert len(trail_best) == len(copy_best)
+
+    @given(graphs(max_vertices=14), st.integers(min_value=0, max_value=4))
+    @settings(max_examples=25, deadline=None)
+    def test_trail_matches_copy_dfs_kdc_t(self, g, k):
+        """kDC-t (Algorithm 1: BR + RR1 + RR2 only) locksteps as well."""
+        adj, n = _adjacency_bits(g)
+        base = variant_config("kDC-t")
+        copy_cfg = replace(base, backend="bitset", engine="copy")
+        trail_cfg = replace(base, backend="bitset", engine="trail", recolor_period=1)
+        copy_trace, copy_stats, copy_best = _run_engine(adj, n, k, copy_cfg)
+        trail_trace, trail_stats, trail_best = _run_engine(adj, n, k, trail_cfg)
+        assert trail_trace == copy_trace
+        assert trail_stats.nodes == copy_stats.nodes
+        assert len(trail_best) == len(copy_best)
+
+    @given(graphs(min_vertices=4), st.integers(min_value=0, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_trail_matches_copy_forced_anchor(self, g, k):
+        """A forced anchor vertex (the decomposition's subproblem shape) locksteps."""
+        adj, n = _adjacency_bits(g)
+        copy_cfg = SolverConfig(backend="bitset", engine="copy")
+        trail_cfg = SolverConfig(backend="bitset", engine="trail", recolor_period=1)
+        copy_trace, copy_stats, _ = _run_engine(adj, n, k, copy_cfg, forced=0)
+        trail_trace, trail_stats, _ = _run_engine(adj, n, k, trail_cfg, forced=0)
+        assert trail_trace == copy_trace
+        assert trail_stats.nodes == copy_stats.nodes
+
+    @given(graphs(min_vertices=10, max_vertices=30), st.integers(min_value=0, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_decomposed_node_counts_match(self, g, k):
+        """Forced decomposition: both engines run every ego subproblem in lockstep.
+
+        The sequential driver visits anchors in a deterministic order with a
+        shared incumbent, so identical per-subproblem DFS implies identical
+        total node counts and subproblem counts.
+        """
+        copy_cfg = SolverConfig(backend="bitset", engine="copy", decompose_threshold=1)
+        trail_cfg = SolverConfig(
+            backend="bitset", engine="trail", recolor_period=1, decompose_threshold=1
+        )
+        copy_result = KDCSolver(copy_cfg).solve(g, k)
+        trail_result = KDCSolver(trail_cfg).solve(g, k)
+        assert trail_result.size == copy_result.size
+        assert trail_result.stats.nodes == copy_result.stats.nodes
+        assert trail_result.stats.subproblems == copy_result.stats.subproblems
+        assert trail_result.stats.subproblems_pruned == copy_result.stats.subproblems_pruned
+
+    @given(graphs(), st.integers(min_value=0, max_value=4))
+    @settings(max_examples=25, deadline=None)
+    def test_default_trail_is_exact(self, g, k):
+        """The default (amortised) trail configuration still returns the optimum."""
+        expected = KDCSolver(SolverConfig(backend="set")).solve(g, k).size
+        result = KDCSolver(SolverConfig(backend="bitset", engine="trail")).solve(g, k)
+        assert result.size == expected
+        if result.stats.nodes > 0:  # preprocessing may solve tiny instances outright
+            assert result.stats.engine == "trail"
+
+    def test_trail_counters_balance(self):
+        """A completed trail solve pops everything it pushed and counts recolors."""
+        g = gnp_random_graph(90, 0.25, seed=5)
+        result = KDCSolver(SolverConfig(backend="bitset", engine="trail")).solve(g, 2)
+        stats = result.stats
+        assert stats.trail_pushes > 0
+        assert stats.trail_pushes == stats.trail_pops
+        assert stats.recolor_full > 0
+        assert stats.dirty_drained > 0
+
+
+# --------------------------------------------------------------------------- #
+# Push/pop restoration property
+# --------------------------------------------------------------------------- #
+def _snapshot(state):
+    return (
+        list(state.solution),
+        state.solution_bits,
+        state.cand_bits,
+        state.missing_in_solution,
+        list(state.non_nbrs),
+        state.edges_in_graph,
+        state.last_added,
+    )
+
+
+def _random_ops(state, rng, max_ops):
+    """Apply a random mix of trailed adds/removals; return how many were applied."""
+    applied = 0
+    for _ in range(max_ops):
+        cand = bits_of(state.cand_bits)
+        if not cand:
+            break
+        v = rng.choice(cand)
+        if rng.random() < 0.5 and state.missing_if_added(v) <= state.k:
+            state.add_to_solution(v)
+        else:
+            state.remove_candidate(v)
+        applied += 1
+    return applied
+
+
+class TestPushPop:
+    @given(
+        graphs(min_vertices=3, max_vertices=18),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=10_000),
+        st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rewind_restores_state_bit_for_bit(self, g, k, op_seed, lazy):
+        adj, n = _adjacency_bits(g)
+        state = BitsetSearchState.initial(adj, k)
+        if lazy:
+            state.defer_edge_tracking()
+        state.begin_trail()
+        rng = random.Random(op_seed)
+
+        before = _snapshot(state)
+        mark = state.trail_mark()
+        applied = _random_ops(state, rng, max_ops=n)
+        popped = state.rewind_to(mark)
+        assert popped == applied
+        assert _snapshot(state) == before
+        state.check_invariants()
+
+    @given(
+        graphs(min_vertices=4, max_vertices=16),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_nested_marks_rewind_independently(self, g, k, op_seed):
+        """Branch-like nesting: inner rewinds restore the outer mark's context."""
+        adj, n = _adjacency_bits(g)
+        state = BitsetSearchState.initial(adj, k)
+        state.defer_edge_tracking()
+        state.begin_trail()
+        rng = random.Random(op_seed)
+
+        outer_before = _snapshot(state)
+        outer = state.trail_mark()
+        _random_ops(state, rng, max_ops=max(1, n // 3))
+
+        inner_before = _snapshot(state)
+        inner = state.trail_mark()
+        _random_ops(state, rng, max_ops=max(1, n // 3))
+        state.rewind_to(inner)
+        assert _snapshot(state) == inner_before
+
+        # A second subtree from the same inner mark, then unwind everything.
+        _random_ops(state, rng, max_ops=max(1, n // 3))
+        state.rewind_to(inner)
+        assert _snapshot(state) == inner_before
+        state.rewind_to(outer)
+        assert _snapshot(state) == outer_before
+        state.check_invariants()
+
+    def test_lazy_edges_leaf_test_matches_tracked(self):
+        """The lazy early-exit leaf test agrees with the incremental one everywhere."""
+        rng = random.Random(17)
+        for seed in range(30):
+            g = gnp_random_graph(rng.randint(3, 16), rng.uniform(0.1, 0.95), seed=seed)
+            adj, n = _adjacency_bits(g)
+            k = seed % 5
+            tracked = BitsetSearchState.initial(adj, k)
+            lazy = BitsetSearchState.initial(adj, k)
+            lazy.defer_edge_tracking()
+            for _ in range(n):
+                cand = bits_of(tracked.cand_bits)
+                if not cand:
+                    break
+                v = rng.choice(cand)
+                if rng.random() < 0.4 and tracked.missing_if_added(v) <= k:
+                    tracked.add_to_solution(v)
+                    lazy.add_to_solution(v)
+                else:
+                    tracked.remove_candidate(v)
+                    lazy.remove_candidate(v)
+                assert lazy.is_defective_clique() == tracked.is_defective_clique()
+                assert lazy.total_missing() == tracked.total_missing()
