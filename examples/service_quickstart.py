@@ -1,0 +1,104 @@
+"""Quickstart for the solver service: prepare once, answer many queries.
+
+Run with::
+
+    PYTHONPATH=src python examples/service_quickstart.py
+
+Two flavours are shown:
+
+1. **in-process** — a :class:`~repro.service.SolverService` embedded in your
+   own program: add graphs to its store, fire concurrent queries, read the
+   request-level stats (``cache_hit``, ``prepare_ms``, ``solve_ms``);
+2. **daemon** — a real ``repro serve`` subprocess speaking the JSON-lines
+   TCP protocol, driven through :class:`~repro.service.Client`.  This is
+   also what the CI service-smoke job runs, so the script asserts the
+   behaviour it demonstrates and exits non-zero on any regression.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+from repro.graphs import gnp_random_graph
+from repro.service import Client, SolverService
+
+
+def in_process() -> None:
+    print("=== in-process service ===")
+    graph = gnp_random_graph(80, 0.12, seed=5)
+    with SolverService(max_concurrency=4) as service:
+        digest = service.store.add(graph, name="gnp80")
+        print(f"graph registered: digest {digest[:16]}…")
+
+        # fire a batch of queries; identical ones are answered from cache
+        futures = [service.submit(digest, k) for k in (1, 2, 1, 2, 1)]
+        for future in futures:
+            result = future.result()
+            s = result.stats
+            print(
+                f"  k={result.k}: size={result.size} optimal={result.optimal} "
+                f"cache_hit={s.cache_hit} prepare={s.prepare_ms:.1f}ms "
+                f"solve={s.solve_ms:.1f}ms"
+            )
+        print(f"  counters: {service.stats()}")
+
+
+def against_daemon() -> None:
+    print("\n=== repro serve daemon over TCP ===")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH", "")) if p
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        # the daemon prints "repro-serve listening on HOST:PORT" on startup;
+        # with --port 0 this line is how callers learn the ephemeral port
+        line = proc.stdout.readline().strip()
+        print(f"  daemon: {line}")
+        assert "listening on" in line, line
+        host, port = line.rsplit(" ", 1)[1].rsplit(":", 1)
+
+        with Client.connect(host, int(port)) as client:
+            assert client.ping()
+            graph = gnp_random_graph(60, 0.15, seed=8)
+            digest = client.add_graph(graph, name="gnp60")
+            print(f"  graph registered: digest {digest[:16]}…")
+
+            # three queries; the repeat must be a cache hit
+            first = client.solve(digest, 1)
+            second = client.solve(digest, 2)
+            repeat = client.solve(digest, 1)
+            for reply in (first, second, repeat):
+                s = reply["stats"]
+                print(
+                    f"  k={reply['k']}: size={reply['size']} "
+                    f"optimal={reply['optimal']} cache_hit={s['cache_hit']}"
+                )
+            assert first["optimal"] and second["optimal"]
+            assert not first["stats"]["cache_hit"]
+            assert repeat["stats"]["cache_hit"]
+            assert repeat["size"] == first["size"]
+
+            counters = client.stats()
+            print(f"  counters: {counters}")
+            assert counters["solves"] == 2 and counters["cache_hits"] == 1
+
+            assert client.shutdown()
+        code = proc.wait(timeout=30)
+        assert code == 0, f"daemon exited with {code}"
+        print("  daemon shut down cleanly")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+
+if __name__ == "__main__":
+    in_process()
+    against_daemon()

@@ -121,6 +121,16 @@ class InstanceRecord:
     dirty_drained: int = 0
     recolor_full: int = 0
     recolor_repair: int = 0
+    #: request-level phase timings (see :class:`~repro.core.result.SearchStats`):
+    #: milliseconds spent preparing (relabel + heuristic + preprocessing +
+    #: degeneracy order) and in the branch-and-bound itself, plus the queue
+    #: wait when the record came through the solver service
+    prepare_ms: float = 0.0
+    queue_ms: float = 0.0
+    solve_ms: float = 0.0
+    #: ``True`` when the solver service answered this measurement from its
+    #: result cache without re-entering the search engine
+    cache_hit: bool = False
 
     def as_dict(self) -> Dict[str, object]:
         """Return the record as a flat dictionary (for CSV-style reporting)."""
@@ -141,7 +151,48 @@ class InstanceRecord:
             "dirty_drained": self.dirty_drained,
             "recolor_full": self.recolor_full,
             "recolor_repair": self.recolor_repair,
+            "prepare_ms": self.prepare_ms,
+            "queue_ms": self.queue_ms,
+            "solve_ms": self.solve_ms,
+            "cache_hit": self.cache_hit,
         }
+
+    @classmethod
+    def from_result(
+        cls,
+        result: SolveResult,
+        *,
+        algorithm: str,
+        collection: str = "",
+        instance: str = "",
+        elapsed_seconds: Optional[float] = None,
+    ) -> "InstanceRecord":
+        """Build a record from any :class:`SolveResult` (solver or service)."""
+        stats = result.stats
+        return cls(
+            algorithm=algorithm,
+            collection=collection,
+            instance=instance,
+            k=result.k,
+            solved=result.optimal,
+            size=result.size,
+            elapsed_seconds=(
+                elapsed_seconds if elapsed_seconds is not None else stats.elapsed_seconds
+            ),
+            nodes=stats.nodes,
+            backend=stats.backend,
+            workers=stats.workers,
+            engine=stats.engine,
+            trail_pushes=stats.trail_pushes,
+            trail_pops=stats.trail_pops,
+            dirty_drained=stats.dirty_drained,
+            recolor_full=stats.recolor_full,
+            recolor_repair=stats.recolor_repair,
+            prepare_ms=stats.prepare_ms,
+            queue_ms=stats.queue_ms,
+            solve_ms=stats.solve_ms,
+            cache_hit=stats.cache_hit,
+        )
 
 
 def run_instance(
@@ -169,24 +220,12 @@ def run_instance(
     start = time.perf_counter()
     result: SolveResult = solver.solve(graph, k)
     elapsed = time.perf_counter() - start
-    stats = result.stats
-    return InstanceRecord(
+    return InstanceRecord.from_result(
+        result,
         algorithm=algorithm,
         collection=collection,
         instance=instance,
-        k=k,
-        solved=result.optimal,
-        size=result.size,
         elapsed_seconds=elapsed,
-        nodes=stats.nodes,
-        backend=stats.backend,
-        workers=stats.workers,
-        engine=stats.engine,
-        trail_pushes=stats.trail_pushes,
-        trail_pops=stats.trail_pops,
-        dirty_drained=stats.dirty_drained,
-        recolor_full=stats.recolor_full,
-        recolor_repair=stats.recolor_repair,
     )
 
 

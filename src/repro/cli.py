@@ -15,7 +15,14 @@ Sub-commands
 * ``experiments`` — run one of the paper's table/figure reproductions;
 * ``stats``       — print structural statistics of a graph file;
 * ``generate``    — write a synthetic collection to disk as edge-list files;
-* ``gamma``       — print the theoretical branching factors γ_k and σ_k.
+* ``gamma``       — print the theoretical branching factors γ_k and σ_k;
+* ``serve``       — run a long-lived solver service speaking a JSON-lines
+  TCP protocol (graphs are prepared once and cached by content digest;
+  repeated queries are answered from a result cache — see
+  :mod:`repro.service`).
+
+Failures surface as a one-line ``error: ...`` message on stderr and a
+non-zero exit code instead of a traceback.
 """
 
 from __future__ import annotations
@@ -32,6 +39,7 @@ from .core.config import BACKEND_NAMES, ENGINE_NAMES
 from .bench.reporting import format_table
 from .core.gamma import complexity_comparison
 from .datasets.collections import COLLECTION_NAMES, SCALES, get_collection
+from .exceptions import ReproError
 from .extensions import top_r_diversified_defective_cliques, top_r_maximal_defective_cliques
 from .graphs.io import load_graph, write_edge_list
 from .graphs.stats import graph_stats
@@ -139,6 +147,53 @@ def build_parser() -> argparse.ArgumentParser:
     gamma_cmd = subparsers.add_parser("gamma", help="print the theoretical branching factors")
     gamma_cmd.add_argument("--max-k", type=int, default=10)
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run a long-lived solver service (JSON-lines TCP protocol)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=7317,
+        help="TCP port; 0 picks an ephemeral port, printed on startup (default 7317)",
+    )
+    serve.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=4,
+        help="maximum number of simultaneously executing solves (default 4)",
+    )
+    serve.add_argument(
+        "--backend",
+        default="auto",
+        choices=list(BACKEND_NAMES),
+        help="search-state backend answering queries (default auto)",
+    )
+    serve.add_argument(
+        "--engine",
+        default="trail",
+        choices=list(ENGINE_NAMES),
+        help="bitset branch-and-bound engine (default trail)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes per solve for the degeneracy decomposition (default 1)",
+    )
+    serve.add_argument(
+        "--preload",
+        nargs="*",
+        default=[],
+        metavar="PATH",
+        help="graph files to load into the store at startup (digests printed)",
+    )
+    serve.add_argument(
+        "--format", default="auto", choices=["auto", "edgelist", "dimacs", "metis"],
+        help="format of the --preload files",
+    )
+
     return parser
 
 
@@ -238,6 +293,30 @@ def _cmd_gamma(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: every other sub-command works without the service
+    # machinery, and keeping the import here keeps their startup unchanged.
+    from .core.config import SolverConfig
+    from .service import ServiceServer, run_server
+
+    config = SolverConfig(backend=args.backend, engine=args.engine, workers=args.workers)
+    server = ServiceServer(
+        host=args.host,
+        port=args.port,
+        config=config,
+        max_concurrency=args.max_concurrency,
+    )
+    for path in args.preload:
+        graph = load_graph(path, fmt=args.format)
+        digest = server.service.store.add(graph, name=os.path.basename(path))
+        print(f"preloaded {path}: digest {digest}", flush=True)
+    try:
+        run_server(server)
+    except KeyboardInterrupt:
+        server.server_close()
+    return 0
+
+
 _COMMANDS = {
     "solve": _cmd_solve,
     "compare": _cmd_compare,
@@ -247,15 +326,30 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "generate": _cmd_generate,
     "gamma": _cmd_gamma,
+    "serve": _cmd_serve,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Library failures (unreadable or malformed graph files, invalid
+    parameters, service errors — anything deriving from
+    :class:`~repro.exceptions.ReproError` or :class:`OSError`) are reported
+    as a one-line ``error: ...`` on stderr with exit code 2; Ctrl-C exits
+    130 (the conventional ``128 + SIGINT``) instead of dumping a traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     handler = _COMMANDS[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

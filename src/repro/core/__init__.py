@@ -48,6 +48,7 @@ from .gamma import (
 )
 from .heuristics import degen, degen_opt, initial_solution
 from .instance import SearchState
+from .prepared import PreparedInstance, prepare_instance
 from .reductions import (
     apply_reductions,
     apply_rr1,
@@ -71,6 +72,8 @@ __all__ = [
     "ENGINE_NAMES",
     "SolveResult",
     "SearchStats",
+    "PreparedInstance",
+    "prepare_instance",
     "SearchState",
     "BitsetSearchState",
     "BitsetEngine",

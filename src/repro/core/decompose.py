@@ -147,12 +147,14 @@ def build_ego_subproblem(
 
 
 def solve_decomposed(
-    working: Graph,
+    working: Optional[Graph],
     k: int,
     config: SolverConfig,
     stats: SearchStats,
     check_budget: Callable[[], None],
     incumbent: List[int],
+    adj: Optional[Mapping[int, Sequence[int]]] = None,
+    decomposition: Optional[Tuple[Sequence[int], Mapping[int, int]]] = None,
 ) -> None:
     """Solve ``working`` by per-vertex ego subproblems, improving ``incumbent`` in place.
 
@@ -160,7 +162,8 @@ def solve_decomposed(
     ----------
     working:
         The (preprocessed) instance graph with integer vertex ids.  Not
-        modified.
+        modified.  May be ``None`` when both ``adj`` and ``decomposition``
+        are supplied (the prepared-instance path).
     k:
         Defectiveness parameter.
     config:
@@ -174,6 +177,15 @@ def solve_decomposed(
     incumbent:
         Best solution known so far, as a list of ``working`` vertex ids with
         ``len(incumbent) >= k + 1`` (see module docstring).  Grown in place.
+    adj:
+        Optional precomputed adjacency mapping ``vertex -> neighbour
+        sequence`` used instead of ``working.neighbors`` — a
+        :class:`~repro.core.prepared.PreparedInstance` supplies its frozen
+        ``working_adj`` here so repeated solves skip the rebuild.
+    decomposition:
+        Optional precomputed ``(ordering, position)`` degeneracy
+        decomposition of the instance; computed from ``working`` when
+        absent.
     """
     if len(incumbent) < k + 1:
         raise ValueError(
@@ -181,15 +193,18 @@ def solve_decomposed(
             "fall back to the whole-graph bitset solve instead"
         )
     stats.workers = 1
-    decomposition = degeneracy_ordering(working)
-    position = decomposition.position
-    neighbors = working.neighbors
+    if decomposition is None:
+        result = degeneracy_ordering(working)
+        ordering, position = result.ordering, result.position
+    else:
+        ordering, position = decomposition
+    neighbors = adj.__getitem__ if adj is not None else working.neighbors
 
     # Process anchors in reverse peeling order: the densest part of the graph
     # (where the maximum solution almost always lives) is searched first, so
     # the incumbent tightens early and the cheap size cap in
     # build_ego_subproblem skips most of the remaining, sparser ego nets
     # without building them.
-    for v in reversed(decomposition.ordering):
+    for v in reversed(ordering):
         check_budget()
         solve_anchor(neighbors, position, v, k, config, stats, check_budget, incumbent)

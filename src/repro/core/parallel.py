@@ -290,7 +290,7 @@ def _batched(anchors: List[int], workers: int) -> List[List[int]]:
 
 
 def solve_decomposed_parallel(
-    working: Graph,
+    working: Optional[Graph],
     k: int,
     config: SolverConfig,
     stats: SearchStats,
@@ -298,6 +298,8 @@ def solve_decomposed_parallel(
     incumbent: List[int],
     deadline: Optional[float] = None,
     node_limit: Optional[int] = None,
+    adj: Optional[Dict[int, Tuple[int, ...]]] = None,
+    decomposition: Optional[Tuple[Sequence[int], Dict[int, int]]] = None,
 ) -> None:
     """Parallel twin of :func:`repro.core.decompose.solve_decomposed`.
 
@@ -310,6 +312,15 @@ def solve_decomposed_parallel(
     node_limit:
         Total branch-and-bound node budget across all workers, counted on
         top of ``stats.nodes`` already spent (``None`` = unlimited).
+    adj:
+        Optional precomputed ``vertex -> neighbour tuple`` adjacency used
+        verbatim as the worker-pool payload (a
+        :class:`~repro.core.prepared.PreparedInstance` passes its frozen
+        ``working_adj``); built from ``working`` when absent.
+    decomposition:
+        Optional precomputed ``(ordering, position)`` degeneracy
+        decomposition; computed from ``working`` when absent.  ``working``
+        may be ``None`` when both ``adj`` and ``decomposition`` are given.
 
     Raises
     ------
@@ -323,12 +334,16 @@ def solve_decomposed_parallel(
             "fall back to the whole-graph bitset solve instead"
         )
     workers = config.workers
-    decomposition = degeneracy_ordering(working)
-    anchors = list(reversed(decomposition.ordering))
+    if decomposition is None:
+        result = degeneracy_ordering(working)
+        ordering, position = result.ordering, dict(result.position)
+    else:
+        ordering, position = decomposition[0], dict(decomposition[1])
+    anchors = list(reversed(ordering))
     stats.workers = workers
 
-    adj = {v: tuple(working.neighbors(v)) for v in working}
-    position = dict(decomposition.position)
+    if adj is None:
+        adj = {v: tuple(working.neighbors(v)) for v in working}
     mp = multiprocessing.get_context()
 
     def merge(local_best: List[int], batch_stats: SearchStats) -> None:

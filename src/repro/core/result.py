@@ -72,6 +72,20 @@ class SearchStats:
     #: trail engine: coloring-bound repairs (cached classes intersected with
     #: the surviving candidates instead of recoloring)
     recolor_repair: int = 0
+    #: milliseconds spent preparing (relabel + heuristic + RR5/RR6
+    #: preprocessing + degeneracy order) *for this call*: the full prepare
+    #: cost for a plain ``solve``, the (near-zero) artifact-lookup cost for a
+    #: service request answered from an already-prepared instance, and 0.0
+    #: for a bare ``solve_prepared`` (its artifact was paid for earlier)
+    prepare_ms: float = 0.0
+    #: milliseconds the request waited in the service scheduler's queue
+    #: before a worker picked it up (0.0 outside the service)
+    queue_ms: float = 0.0
+    #: milliseconds spent in the branch-and-bound search phase itself
+    solve_ms: float = 0.0
+    #: ``True`` when the service answered this request from its result cache
+    #: without re-entering the search engine
+    cache_hit: bool = False
 
     def count_reduction(self, rule: str, amount: int = 1) -> None:
         """Increment the removal counter of a reduction rule."""
@@ -101,6 +115,10 @@ class SearchStats:
             "dirty_drained": self.dirty_drained,
             "recolor_full": self.recolor_full,
             "recolor_repair": self.recolor_repair,
+            "prepare_ms": self.prepare_ms,
+            "queue_ms": self.queue_ms,
+            "solve_ms": self.solve_ms,
+            "cache_hit": self.cache_hit,
         }
         for rule, count in sorted(self.reductions.items()):
             data[f"removed_{rule}"] = count
@@ -113,7 +131,9 @@ class SearchStats:
         per-worker statistics into the owning solve's counters.  Additive
         counters are summed, ``max_depth`` is maximised; phase-level fields
         (``initial_solution_size``, ``elapsed_seconds``, ``backend``,
-        ``workers``) belong to the owning solve and are left untouched.
+        ``workers``, and the request-level ``prepare_ms``/``queue_ms``/
+        ``solve_ms``/``cache_hit``) belong to the owning solve and are left
+        untouched.
         """
         self.nodes += other.nodes
         self.max_depth = max(self.max_depth, other.max_depth)

@@ -53,10 +53,11 @@ solve corrupting another.
 
 from __future__ import annotations
 
+import dataclasses
 import sys
 import threading
 import time
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from ..exceptions import BudgetExceededError, InvalidParameterError
 from ..graphs.graph import Graph, Vertex
@@ -66,10 +67,10 @@ from .config import SolverConfig, variant_config
 from .decompose import solve_decomposed
 from .defective import validate_k
 from .fastpath import BitsetEngine
-from .heuristics import initial_solution
 from .instance import SearchState
 from .parallel import solve_decomposed_parallel
-from .reductions import apply_reductions, preprocess_graph
+from .prepared import PreparedInstance, prepare_instance
+from .reductions import apply_reductions
 from .result import SearchStats, SolveResult
 
 __all__ = ["KDCSolver", "find_maximum_defective_clique", "maximum_defective_clique_size"]
@@ -126,57 +127,75 @@ class _SolveRun:
 
     # ------------------------------------------------------------------ #
     def execute(self, graph: Graph, k: int) -> SolveResult:
-        config = self.config
+        """Prepare-then-execute: the classic single-call solve path.
+
+        The prepare phase (relabeling, heuristic, RR5/RR6 preprocessing,
+        degeneracy order) is delegated to
+        :func:`~repro.core.prepared.prepare_instance` and the resulting
+        throwaway artifact handed to :meth:`execute_prepared` — the same two
+        halves a prepare-once service reuses, so both routes are pinned to
+        identical behavior by construction.
+        """
         stats = self.stats
 
         if graph.num_vertices == 0:
             stats.elapsed_seconds = time.perf_counter() - self.start
             return SolveResult(clique=[], size=0, k=k, optimal=True, algorithm=self.name, stats=stats)
 
-        relabeled, _, to_label = graph.relabel()
-        optimal = True
-        try:
-            # Line 1 of Algorithm 2: heuristic initial solution.  The
-            # heuristic is budget-aware: when the deadline fires mid-run it
-            # returns its best partial solution, and the explicit check below
-            # aborts the solve with that partial incumbent.
-            best = initial_solution(
-                relabeled, k, config.initial_heuristic, budget_check=self._check_budget
-            )
+        # The budget may fire inside the heuristic or the preprocessing; the
+        # on_heuristic hook keeps the partial incumbent (and the label map
+        # needed to report it) so an interrupted prepare still returns the
+        # best solution found so far with optimal=False, exactly as before
+        # the compile/execute split.
+        partial_to_label: List[Vertex] = []
+
+        def on_heuristic(best: List[int], to_label: List[Vertex]) -> None:
             self.best = list(best)
-            stats.initial_solution_size = len(self.best)
+            stats.initial_solution_size = len(best)
+            partial_to_label[:] = to_label
+
+        try:
+            prepared = prepare_instance(
+                graph,
+                k,
+                self.config,
+                budget_check=self._check_budget,
+                on_heuristic=on_heuristic,
+                compute_digest=False,
+            )
+        except BudgetExceededError:
+            stats.elapsed_seconds = time.perf_counter() - self.start
+            clique = self._labeled_clique(partial_to_label)
+            return SolveResult(
+                clique=clique, size=len(clique), k=k, optimal=False,
+                algorithm=self.name, stats=stats,
+            )
+        stats.prepare_ms = prepared.prepare_seconds * 1000.0
+        return self.execute_prepared(prepared, k)
+
+    def execute_prepared(self, prepared: PreparedInstance, k: int) -> SolveResult:
+        """Run the branch-and-bound phase against a prepared artifact."""
+        stats = self.stats
+        prepared.seed_stats(stats)
+        self.best = list(prepared.heuristic)
+        optimal = True
+        solve_start = time.perf_counter()
+        try:
             self._check_budget()
-
-            # Line 2 of Algorithm 2: reduce the input graph using the initial
-            # lower bound.
-            working = relabeled.copy()
-            if config.use_rr5 or config.use_rr6:
-                preprocess_graph(
-                    working,
-                    k,
-                    lower_bound=len(self.best),
-                    use_rr5=config.use_rr5,
-                    use_rr6=config.use_rr6,
-                    stats=stats,
-                    budget_check=self._check_budget,
-                )
-
-            backend = self._resolve_backend(working, k)
+            backend = self._resolve_backend(prepared, k)
             stats.backend = backend
-            if working.num_vertices > 0:
+            if prepared.working_n > 0:
                 if backend == "bitset":
-                    self._solve_bitset(working, k)
+                    self._solve_bitset(prepared, k)
                 else:
-                    self._solve_set(working, relabeled.num_vertices, k)
+                    self._solve_set(prepared, k)
         except BudgetExceededError:
             optimal = False
 
-        stats.elapsed_seconds = time.perf_counter() - self.start
-        labels = [to_label[v] for v in self.best]
-        try:
-            clique = sorted(labels)
-        except TypeError:  # mixed, unorderable vertex labels
-            clique = labels
+        now = time.perf_counter()
+        stats.solve_ms = (now - solve_start) * 1000.0
+        stats.elapsed_seconds = now - self.start
+        clique = self._labeled_clique(prepared.to_label)
         return SolveResult(
             clique=clique,
             size=len(clique),
@@ -186,9 +205,17 @@ class _SolveRun:
             stats=stats,
         )
 
+    def _labeled_clique(self, to_label: Sequence[Vertex]) -> List[Vertex]:
+        """Map ``self.best`` back to original labels (sorted when orderable)."""
+        labels = [to_label[v] for v in self.best]
+        try:
+            return sorted(labels)
+        except TypeError:  # mixed, unorderable vertex labels
+            return labels
+
     # ------------------------------------------------------------------ #
-    def _resolve_backend(self, working: Graph, k: int) -> str:
-        """Map ``config.backend`` to the concrete backend used for ``working``.
+    def _resolve_backend(self, prepared: PreparedInstance, k: int) -> str:
+        """Map ``config.backend`` to the concrete backend used for this instance.
 
         The bitset backend's whole-graph mode allocates O(n²/8) bytes of
         adjacency rows, so when the decomposition cannot engage (no usable
@@ -198,39 +225,42 @@ class _SolveRun:
         input that has a heuristic lower bound.
         """
         config = self.config
+        working_n = prepared.working_n
         backend = config.backend
         if backend == "auto":
-            backend = "bitset" if working.num_vertices >= _AUTO_BITSET_MIN_VERTICES else "set"
+            backend = "bitset" if working_n >= _AUTO_BITSET_MIN_VERTICES else "set"
         if backend == "bitset":
             decomposable = (
-                working.num_vertices >= config.decompose_threshold and len(self.best) >= k + 1
+                working_n >= config.decompose_threshold and len(self.best) >= k + 1
             )
-            if not decomposable and working.num_vertices > _BITSET_WHOLE_GRAPH_MAX_VERTICES:
+            if not decomposable and working_n > _BITSET_WHOLE_GRAPH_MAX_VERTICES:
                 return "set"
         return backend
 
-    def _solve_set(self, working: Graph, total_vertices: int, k: int) -> None:
+    def _solve_set(self, prepared: PreparedInstance, k: int) -> None:
         """Branch-and-bound over the dict/set :class:`SearchState` backend."""
-        adj = self._adjacency_list(working, total_vertices)
-        state = SearchState.initial(adj, k, vertices=working.vertex_set())
+        adj: List[set] = [set() for _ in range(prepared.n_original)]
+        for v, nbrs in prepared.working_adj.items():
+            adj[v] = set(nbrs)
+        state = SearchState.initial(adj, k, vertices=set(prepared.working_adj))
         _ensure_recursion_limit(len(state.candidates) + _RECURSION_MARGIN)
         self._branch(state, depth=1)
 
-    def _solve_bitset(self, working: Graph, k: int) -> None:
+    def _solve_bitset(self, prepared: PreparedInstance, k: int) -> None:
         """Branch-and-bound over packed adjacency bitmaps (optionally decomposed).
 
         Large instances (``>= config.decompose_threshold`` vertices) with a
         usable lower bound (``>= k + 1``, required by the diameter-2 argument
         of :mod:`repro.core.decompose`) are split into per-vertex ego
         subproblems — across a worker pool when ``config.workers >= 2`` —
-        and everything else is one whole-graph bitset search.  Either way
-        every branch-and-bound runs the engine selected by
-        ``config.engine`` ("trail" undo-stack engine by default, "copy" for
-        the copy-per-child baseline).
+        and everything else is one whole-graph bitset search over the
+        artifact's packed rows.  Either way every branch-and-bound runs the
+        engine selected by ``config.engine`` ("trail" undo-stack engine by
+        default, "copy" for the copy-per-child baseline).
         """
         config = self.config
         self.stats.engine = config.engine
-        if working.num_vertices >= config.decompose_threshold and len(self.best) >= k + 1:
+        if prepared.working_n >= config.decompose_threshold and len(self.best) >= k + 1:
             if config.workers >= 2:
                 deadline = None
                 if self.deadline is not None:
@@ -238,34 +268,22 @@ class _SolveRun:
                     # clock, which is meaningful across processes.
                     deadline = time.monotonic() + (self.deadline - time.perf_counter())
                 solve_decomposed_parallel(
-                    working, k, config, self.stats, self._check_budget, self.best,
+                    None, k, config, self.stats, self._check_budget, self.best,
                     deadline=deadline, node_limit=self.node_limit,
+                    adj=prepared.working_adj, decomposition=prepared.decomposition(),
                 )
             else:
-                solve_decomposed(working, k, config, self.stats, self._check_budget, self.best)
+                solve_decomposed(
+                    None, k, config, self.stats, self._check_budget, self.best,
+                    adj=prepared.working_adj, decomposition=prepared.decomposition(),
+                )
             return
-        # Compact local ids so masks are only as wide as the (reduced)
-        # instance; degree-descending assignment keeps the id space
-        # deterministic for a fixed input.
-        to_global = sorted(working, key=lambda v: -working.degree(v))
-        local_index = {v: i for i, v in enumerate(to_global)}
+        to_global, adj_bits = prepared.packed_adjacency()
         width = len(to_global)
-        adj_bits = [0] * width
-        for v, i in local_index.items():
-            row = 0
-            for u in working.neighbors(v):
-                row |= 1 << local_index[u]
-            adj_bits[i] = row
-        engine = BitsetEngine(config, self.stats, self._check_budget, self.best, to_global=to_global)
+        engine = BitsetEngine(
+            config, self.stats, self._check_budget, self.best, to_global=to_global
+        )
         engine.run(adj_bits, (1 << width) - 1, k)
-
-    @staticmethod
-    def _adjacency_list(working: Graph, total_vertices: int) -> List[set]:
-        """Return adjacency sets indexed by the original integer ids of ``working``."""
-        adj: List[set] = [set() for _ in range(total_vertices)]
-        for v in working:
-            adj[v] = set(working.neighbors(v))
-        return adj
 
     def _check_budget(self) -> None:
         if self.deadline is not None and time.perf_counter() > self.deadline:
@@ -379,6 +397,63 @@ class KDCSolver:
         validate_k(k)
         run = _SolveRun(self.config, self.name)
         return run.execute(graph, k)
+
+    def solve_prepared(
+        self,
+        prepared: PreparedInstance,
+        k: Optional[int] = None,
+        *,
+        time_limit: Optional[float] = None,
+        node_limit: Optional[int] = None,
+    ) -> SolveResult:
+        """Execute the branch-and-bound against an already-prepared artifact.
+
+        The artifact (see :func:`~repro.core.prepared.prepare_instance`)
+        carries the relabeling, heuristic incumbent, preprocessed graph and
+        degeneracy order, so this call skips straight to the search phase.
+        One artifact may be executed any number of times — including
+        concurrently, since all per-call state lives in a fresh
+        :class:`_SolveRun`.
+
+        Parameters
+        ----------
+        prepared:
+            Artifact produced by ``prepare_instance``.  Its prepare-relevant
+            configuration (heuristic method, RR5/RR6) must match this
+            solver's — a mismatch raises
+            :class:`~repro.exceptions.InvalidParameterError` rather than
+            silently answering for the wrong variant.
+        k:
+            Must equal ``prepared.k`` when given (the artifact's heuristic
+            and preprocessing are ``k``-specific); defaults to it.
+        time_limit, node_limit:
+            Per-call budget overrides; when omitted the solver
+            configuration's budgets apply.
+
+        Returns
+        -------
+        SolveResult
+            Identical (in optimal size) to ``solve`` on the source graph.
+        """
+        if k is None:
+            k = prepared.k
+        validate_k(k)
+        if k != prepared.k:
+            raise InvalidParameterError(
+                f"PreparedInstance was prepared for k={prepared.k}, not k={k}; "
+                "prepare a new artifact instead"
+            )
+        prepared.check_compatible(self.config)
+        config = self.config
+        overrides = {}
+        if time_limit is not None:
+            overrides["time_limit"] = time_limit
+        if node_limit is not None:
+            overrides["node_limit"] = node_limit
+        if overrides:
+            config = dataclasses.replace(config, **overrides)
+        run = _SolveRun(config, self.name)
+        return run.execute_prepared(prepared, k)
 
 
 def find_maximum_defective_clique(

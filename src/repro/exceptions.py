@@ -57,6 +57,18 @@ class SolverError(ReproError):
     """Base class for errors raised by the branch-and-bound solvers."""
 
 
+class ServiceError(ReproError):
+    """Base class for errors raised by the solver service layer."""
+
+
+class UnknownGraphError(ServiceError, KeyError):
+    """Raised when a service request references a graph digest not in the store."""
+
+    def __init__(self, digest: str) -> None:
+        super().__init__(f"no graph with digest {digest!r} in the store")
+        self.digest = digest
+
+
 class BudgetExceededError(SolverError):
     """Raised internally when a solver exceeds its time or node budget.
 

@@ -14,6 +14,7 @@ of unweighted, undirected simple graphs.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
 from ..exceptions import EdgeNotFoundError, GraphError, SelfLoopError, VertexNotFoundError
@@ -138,7 +139,49 @@ class Graph:
         return all(self._adj[v] == other._adj[v] for v in self._adj)
 
     def __hash__(self) -> int:  # Graphs are mutable; identity hash like list would be misleading.
-        raise TypeError("Graph objects are mutable and unhashable")
+        raise TypeError(
+            "Graph objects are mutable and unhashable; use content_digest() "
+            "for a canonical content key"
+        )
+
+    @staticmethod
+    def _canonical_token(vertex: Vertex) -> str:
+        # repr alone cannot be trusted across types (repr(1) == repr(1) is
+        # fine, but distinct labels of different types could collide), so the
+        # type name is folded in.
+        return f"{type(vertex).__name__}:{vertex!r}"
+
+    def content_digest(self) -> str:
+        """Return a canonical SHA-256 hex digest of the graph's content.
+
+        The digest depends only on the vertex labels and the edge set —
+        never on insertion order — so two graphs that compare ``==`` always
+        share a digest, and any edge/vertex change yields a new one.  This
+        is the stable cache key :class:`Graph` deliberately refuses to
+        provide via ``__hash__`` (graphs are mutable); callers such as the
+        solver service's graph store key prepared artifacts and result
+        caches by it.
+
+        Vertices are canonicalised as ``"<type>:<repr>"`` strings, so the
+        digest is defined for arbitrary (even unorderable, mixed-type)
+        hashable labels as long as their ``repr`` is stable — true for the
+        ints and strings produced by every loader in :mod:`repro.graphs.io`.
+        """
+        h = hashlib.sha256()
+        for token in sorted(self._canonical_token(v) for v in self._adj):
+            h.update(token.encode("utf-8"))
+            h.update(b"\x00")
+        h.update(b"\x01")  # domain separator: vertex section / edge section
+        edge_tokens = []
+        for u, v in self.iter_edges():
+            a, b = self._canonical_token(u), self._canonical_token(v)
+            edge_tokens.append((a, b) if a <= b else (b, a))
+        for a, b in sorted(edge_tokens):
+            h.update(a.encode("utf-8"))
+            h.update(b"\x1f")
+            h.update(b.encode("utf-8"))
+            h.update(b"\x00")
+        return h.hexdigest()
 
     # ------------------------------------------------------------------ #
     # Vertex operations

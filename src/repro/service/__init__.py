@@ -1,0 +1,37 @@
+"""Long-running solver service: prepare once, answer many queries.
+
+The service layer turns the library's one-shot ``solve(graph, k)`` calls into
+a query-serving pipeline built on the compile/execute split of
+:mod:`repro.core.prepared`:
+
+* :class:`~repro.service.store.GraphStore` — holds each graph once, keyed by
+  its canonical :meth:`~repro.graphs.graph.Graph.content_digest`, and caches
+  one :class:`~repro.core.prepared.PreparedInstance` per ``(graph, k,
+  prepare-config)`` slot with single-flight deduplication;
+* :class:`~repro.service.scheduler.SolverService` — an asynchronous request
+  scheduler that batches ``(digest, k, budget)`` queries onto a bounded
+  worker pool, coalesces identical in-flight requests, and answers repeated
+  queries from a result cache keyed by ``(digest, k, algorithm, backend,
+  engine)``;
+* :mod:`~repro.service.server` / :mod:`~repro.service.client` — a stdlib
+  JSON-lines TCP protocol (``repro serve``) and a :class:`Client` that
+  speaks it either in-process (no socket, used by tests) or over a socket.
+
+Every answer carries request-level statistics (``cache_hit``,
+``prepare_ms``, ``queue_ms``, ``solve_ms``) in its
+:class:`~repro.core.result.SearchStats`.
+"""
+
+from .client import Client
+from .scheduler import SolverService
+from .server import ServiceServer, handle_request, run_server
+from .store import GraphStore
+
+__all__ = [
+    "Client",
+    "GraphStore",
+    "ServiceServer",
+    "SolverService",
+    "handle_request",
+    "run_server",
+]

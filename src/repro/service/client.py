@@ -1,0 +1,140 @@
+"""Client for the solver service, in-process or over the JSON-lines socket.
+
+One :class:`Client` class speaks both transports:
+
+* ``Client(service=svc)`` dispatches straight into
+  :func:`~repro.service.server.handle_request` with no socket — what tests
+  and embedded callers use;
+* ``Client.connect(host, port)`` opens a TCP connection to a ``repro
+  serve`` process and sends the same payloads as JSON lines.
+
+Either way the reply dictionaries are identical, because the socket server
+routes through the very same ``handle_request``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import ServiceError
+from ..graphs.graph import Graph
+from .scheduler import SolverService
+from .server import handle_request
+
+__all__ = ["Client"]
+
+
+class Client:
+    """Talk to a :class:`SolverService`, in-process or across a socket.
+
+    Replies are the protocol dictionaries documented in
+    :mod:`repro.service.server`; every method raises :class:`ServiceError`
+    when the service answers ``{"ok": false, ...}``.
+    """
+
+    def __init__(
+        self,
+        service: Optional[SolverService] = None,
+        sock: Optional[socket.socket] = None,
+    ) -> None:
+        if (service is None) == (sock is None):
+            raise ServiceError("pass exactly one of 'service' (in-process) or 'sock'")
+        self._service = service
+        self._sock = sock
+        self._rfile = sock.makefile("rb") if sock is not None else None
+
+    @classmethod
+    def connect(cls, host: str, port: int, timeout: Optional[float] = 30.0) -> "Client":
+        """Open a socket client to a running ``repro serve`` process."""
+        sock = socket.create_connection((host, port), timeout=timeout)
+        return cls(sock=sock)
+
+    # ------------------------------------------------------------------ #
+    def request(self, payload: Dict) -> Dict:
+        """Send one raw protocol request and return the raw reply."""
+        if self._service is not None:
+            return handle_request(self._service, payload)
+        self._sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
+        line = self._rfile.readline()
+        if not line:
+            raise ServiceError("server closed the connection")
+        return json.loads(line)
+
+    def _checked(self, payload: Dict) -> Dict:
+        reply = self.request(payload)
+        if not reply.get("ok"):
+            raise ServiceError(
+                f"{reply.get('kind', 'error')}: {reply.get('error', 'request failed')}"
+            )
+        return reply
+
+    # ------------------------------------------------------------------ #
+    def ping(self) -> bool:
+        """Liveness probe."""
+        return bool(self._checked({"op": "ping"}).get("pong"))
+
+    def add_graph(
+        self,
+        graph_or_edges,
+        vertices: Optional[Sequence] = None,
+        name: Optional[str] = None,
+    ) -> str:
+        """Register a graph (a :class:`Graph` or an edge list) and return its digest."""
+        if isinstance(graph_or_edges, Graph):
+            edges: List[Tuple] = list(graph_or_edges.iter_edges())
+            if vertices is None:
+                vertices = sorted(
+                    graph_or_edges.vertex_set(), key=lambda v: (str(type(v)), str(v))
+                )
+        else:
+            edges = list(graph_or_edges)
+        payload: Dict = {"op": "add-graph", "edges": [list(e) for e in edges]}
+        if vertices is not None:
+            payload["vertices"] = list(vertices)
+        if name is not None:
+            payload["name"] = name
+        return self._checked(payload)["digest"]
+
+    def solve(
+        self,
+        digest: str,
+        k: int,
+        *,
+        algorithm: str = "kDC",
+        time_limit: Optional[float] = None,
+        node_limit: Optional[int] = None,
+    ) -> Dict:
+        """Solve one query; returns the full reply (size, clique, optimal, stats)."""
+        payload: Dict = {"op": "solve", "digest": digest, "k": k, "algorithm": algorithm}
+        if time_limit is not None:
+            payload["time_limit"] = time_limit
+        if node_limit is not None:
+            payload["node_limit"] = node_limit
+        return self._checked(payload)
+
+    def stats(self) -> Dict:
+        """Service and store counters."""
+        return self._checked({"op": "stats"})["stats"]
+
+    def shutdown(self) -> bool:
+        """Ask a socket server to stop (in-process services just close)."""
+        if self._service is not None:
+            self._service.close()
+            return True
+        reply = self.request({"op": "shutdown"})
+        return bool(reply.get("shutting_down"))
+
+    def close(self) -> None:
+        """Close the socket (no-op for in-process clients)."""
+        if self._rfile is not None:
+            self._rfile.close()
+        if self._sock is not None:
+            self._sock.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

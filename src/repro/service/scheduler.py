@@ -1,0 +1,290 @@
+"""Asynchronous request scheduler batching solve queries onto a worker pool.
+
+:class:`SolverService` accepts many ``(digest, k, budget)`` queries and
+answers them with :class:`~repro.core.result.SolveResult` objects, reusing
+work at three levels:
+
+1. **prepared artifacts** — every query against the same ``(graph, k,
+   prepare-config)`` slot shares one
+   :class:`~repro.core.prepared.PreparedInstance` from the
+   :class:`~repro.service.store.GraphStore`;
+2. **result cache** — once a query has been answered *optimally*, repeated
+   queries for the same ``(digest, k, algorithm, backend, engine)`` key are
+   served from the cache without re-entering the search engine (the answer
+   carries ``stats.cache_hit = True``).  Budget-limited (non-optimal)
+   results are never cached;
+3. **in-flight coalescing** — identical queries submitted while the first is
+   still running attach to its computation instead of solving again.
+
+Concurrency is bounded by a :class:`~concurrent.futures.ThreadPoolExecutor`
+of ``max_concurrency`` workers.  The branch-and-bound itself is pure Python
+(GIL-bound), so threads mostly interleave; true CPU parallelism comes from
+``SolverConfig.workers >= 2``, which farms each solve's ego subproblems to a
+process pool — the two levels compose.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import replace
+from typing import Dict, Optional, Tuple, Union
+
+from ..core.config import VARIANT_NAMES, SolverConfig, variant_config
+from ..core.result import SolveResult
+from ..core.solver import KDCSolver
+from ..exceptions import InvalidParameterError
+from ..graphs.graph import Graph
+from .store import GraphStore
+
+__all__ = ["SolverService"]
+
+#: Result-cache key: optimal sizes depend only on the instance and the
+#: algorithm, but node/time profiles (and hence *which* optimum is found)
+#: depend on the backend and engine, so both are part of the key — one
+#: service answering mixed backend queries never conflates their results.
+_ResultKey = Tuple[str, int, str, str, str]
+
+#: In-flight coalescing key: budgets participate, because a tightly-budgeted
+#: query must not be answered by attaching to a generously-budgeted run
+#: (or vice versa) — only *identical* requests coalesce.
+_RequestKey = Tuple[str, int, str, Optional[float], Optional[int]]
+
+
+class SolverService:
+    """Batching scheduler over a :class:`GraphStore` and a worker pool.
+
+    Parameters
+    ----------
+    store:
+        Graph store to serve from; a fresh private one when omitted.
+    config:
+        Execute configuration for ``algorithm="kDC"`` queries (backend,
+        engine, workers, ...).  Named variant queries inherit its
+        backend/engine/workers knobs on top of the variant's feature flags.
+    max_concurrency:
+        Upper bound on simultaneously executing solves (default 4).
+    """
+
+    def __init__(
+        self,
+        store: Optional[GraphStore] = None,
+        config: Optional[SolverConfig] = None,
+        max_concurrency: int = 4,
+    ) -> None:
+        if max_concurrency < 1:
+            raise InvalidParameterError("max_concurrency must be a positive integer")
+        self.store = store if store is not None else GraphStore()
+        self.config = config if config is not None else SolverConfig()
+        self.max_concurrency = max_concurrency
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_concurrency, thread_name_prefix="repro-solve"
+        )
+        self._lock = threading.Lock()
+        self._results: Dict[_ResultKey, SolveResult] = {}
+        self._inflight: Dict[_RequestKey, Future] = {}
+        self._requests = 0
+        self._solves = 0
+        self._cache_hits = 0
+        self._coalesced = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Configuration plumbing
+    # ------------------------------------------------------------------ #
+    def _solver_for(self, algorithm: str) -> KDCSolver:
+        """Build the solver answering ``algorithm`` queries.
+
+        ``"kDC"`` uses the service configuration as-is; other named variants
+        take their feature flags from :func:`variant_config` and inherit the
+        service's execute-side knobs, so e.g. a bitset-trail service answers
+        ``kDC/UB1`` queries with the bitset trail engine too.
+        """
+        if algorithm == "kDC":
+            return KDCSolver(self.config, name="kDC")
+        if algorithm not in VARIANT_NAMES:
+            raise InvalidParameterError(
+                f"unknown algorithm {algorithm!r}; expected one of {', '.join(VARIANT_NAMES)}"
+            )
+        cfg = variant_config(algorithm)
+        cfg = replace(
+            cfg,
+            backend=self.config.backend,
+            engine=self.config.engine,
+            workers=self.config.workers,
+            decompose_threshold=self.config.decompose_threshold,
+            recolor_period=self.config.recolor_period,
+        )
+        return KDCSolver(cfg, name=algorithm)
+
+    def _result_key(self, digest: str, k: int, algorithm: str) -> _ResultKey:
+        return (digest, k, algorithm, self.config.backend, self.config.engine)
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        digest: str,
+        k: int,
+        *,
+        algorithm: str = "kDC",
+        time_limit: Optional[float] = None,
+        node_limit: Optional[int] = None,
+    ) -> "Future[SolveResult]":
+        """Enqueue a solve query; returns a future resolving to its result.
+
+        Raises
+        ------
+        UnknownGraphError
+            Immediately (not through the future) when ``digest`` is not in
+            the store.
+        """
+        if self._closed:
+            raise InvalidParameterError("service is closed")
+        self.store.get(digest)  # fail fast on unknown digests
+        self._solver_for(algorithm)  # fail fast on unknown algorithms
+        request_key: _RequestKey = (digest, k, algorithm, time_limit, node_limit)
+        submitted = time.perf_counter()
+        with self._lock:
+            self._requests += 1
+            cached = self._results.get(self._result_key(digest, k, algorithm))
+            if cached is not None:
+                self._cache_hits += 1
+                done: "Future[SolveResult]" = Future()
+                done.set_result(self._cache_hit_copy(cached))
+                return done
+            running = self._inflight.get(request_key)
+            if running is not None:
+                self._coalesced += 1
+                return self._follow(running)
+            future = self._executor.submit(
+                self._run, digest, k, algorithm, time_limit, node_limit, submitted
+            )
+            self._inflight[request_key] = future
+        future.add_done_callback(lambda _f: self._forget(request_key))
+        return future
+
+    def solve(
+        self,
+        graph_or_digest: Union[Graph, str],
+        k: int,
+        *,
+        algorithm: str = "kDC",
+        time_limit: Optional[float] = None,
+        node_limit: Optional[int] = None,
+    ) -> SolveResult:
+        """Synchronous convenience: submit one query and wait for its answer.
+
+        A :class:`~repro.graphs.graph.Graph` argument is added to the store
+        first (a no-op when already present).
+        """
+        if isinstance(graph_or_digest, Graph):
+            digest = self.store.add(graph_or_digest)
+        else:
+            digest = graph_or_digest
+        return self.submit(
+            digest, k, algorithm=algorithm, time_limit=time_limit, node_limit=node_limit
+        ).result()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _forget(self, request_key: _RequestKey) -> None:
+        with self._lock:
+            self._inflight.pop(request_key, None)
+
+    def _follow(self, running: "Future[SolveResult]") -> "Future[SolveResult]":
+        """Attach a coalesced request to an in-flight computation.
+
+        The follower receives a cache-hit-marked copy (its answer cost no
+        engine work of its own); a failed primary propagates its exception.
+        """
+        follower: "Future[SolveResult]" = Future()
+
+        def _chain(primary: "Future[SolveResult]") -> None:
+            exc = primary.exception()
+            if exc is not None:
+                follower.set_exception(exc)
+            else:
+                follower.set_result(self._cache_hit_copy(primary.result()))
+
+        running.add_done_callback(_chain)
+        return follower
+
+    def _run(
+        self,
+        digest: str,
+        k: int,
+        algorithm: str,
+        time_limit: Optional[float],
+        node_limit: Optional[int],
+        submitted: float,
+    ) -> SolveResult:
+        started = time.perf_counter()
+        solver = self._solver_for(algorithm)
+        prepared = self.store.prepared(digest, k, solver.config)
+        prepare_ms = (time.perf_counter() - started) * 1000.0
+        result = solver.solve_prepared(
+            prepared, k, time_limit=time_limit, node_limit=node_limit
+        )
+        result.stats.queue_ms = (started - submitted) * 1000.0
+        result.stats.prepare_ms = prepare_ms
+        with self._lock:
+            self._solves += 1
+            if result.optimal:
+                self._results.setdefault(self._result_key(digest, k, algorithm), result)
+        return result
+
+    @staticmethod
+    def _cache_hit_copy(result: SolveResult) -> SolveResult:
+        """An independent copy of a cached answer, marked ``cache_hit``.
+
+        Search counters (nodes, prunes, ...) are preserved — they describe
+        the run that produced the answer — while the request-level timings
+        are zeroed: this request spent no measurable time preparing or
+        searching.
+        """
+        stats = copy.deepcopy(result.stats)
+        stats.cache_hit = True
+        stats.queue_ms = 0.0
+        stats.prepare_ms = 0.0
+        stats.solve_ms = 0.0
+        stats.elapsed_seconds = 0.0
+        return SolveResult(
+            clique=list(result.clique),
+            size=result.size,
+            k=result.k,
+            optimal=result.optimal,
+            algorithm=result.algorithm,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle and introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, object]:
+        """Service counters plus the underlying store's counters."""
+        with self._lock:
+            data: Dict[str, object] = {
+                "requests": self._requests,
+                "solves": self._solves,
+                "cache_hits": self._cache_hits,
+                "coalesced": self._coalesced,
+                "max_concurrency": self.max_concurrency,
+            }
+        data.update(self.store.stats())
+        return data
+
+    def close(self) -> None:
+        """Finish in-flight work and shut the worker pool down."""
+        self._closed = True
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "SolverService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

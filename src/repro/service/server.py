@@ -1,0 +1,168 @@
+"""JSON-lines TCP front-end for :class:`~repro.service.scheduler.SolverService`.
+
+The wire protocol is deliberately primitive — one JSON object per line, one
+JSON reply per line, over a plain TCP socket — so any language (or ``nc``)
+can drive a solver service without extra dependencies.  Requests are
+dictionaries with an ``"op"`` field:
+
+``{"op": "ping"}``
+    Liveness probe; answers ``{"ok": true, "pong": true}``.
+``{"op": "add-graph", "edges": [[u, v], ...], "vertices": [...], "name": ...}``
+    Register a graph; answers its content ``digest``.  ``vertices`` (for
+    isolated vertices) and ``name`` are optional.
+``{"op": "solve", "digest": ..., "k": ..., "algorithm": ..., "time_limit": ..., "node_limit": ...}``
+    Solve one query; answers the clique, size, optimality flag and the full
+    request-level statistics (``cache_hit``, ``prepare_ms``, ``queue_ms``,
+    ``solve_ms``, ...).
+``{"op": "stats"}``
+    Service counters.
+``{"op": "shutdown"}``
+    Acknowledge, then stop the server.
+
+Every reply carries ``"ok"``; failures answer ``{"ok": false, "error":
+<message>, "kind": <exception class>}`` and keep the connection (and the
+server) alive.  The same :func:`handle_request` dispatch backs the
+in-process :class:`~repro.service.client.Client`, so tests exercise exactly
+the code path the socket serves.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+from typing import Dict, Optional, Tuple
+
+from ..core.config import SolverConfig
+from ..exceptions import ReproError
+from ..graphs.graph import Graph
+from .scheduler import SolverService
+
+__all__ = ["ServiceServer", "handle_request", "run_server"]
+
+
+def handle_request(service: SolverService, payload: Dict) -> Dict:
+    """Dispatch one protocol request against ``service`` and return the reply.
+
+    Never raises for malformed or failing requests — library errors come
+    back as ``{"ok": False, ...}`` replies so one bad query cannot take a
+    shared server down.  (Only genuinely unexpected internal errors
+    propagate.)
+    """
+    try:
+        if not isinstance(payload, dict):
+            raise ReproError("request must be a JSON object")
+        op = payload.get("op")
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "add-graph":
+            graph = Graph(
+                edges=[tuple(edge) for edge in payload.get("edges", [])],
+                vertices=payload.get("vertices"),
+            )
+            digest = service.store.add(graph, name=payload.get("name"))
+            return {
+                "ok": True,
+                "digest": digest,
+                "n": graph.num_vertices,
+                "m": graph.num_edges,
+            }
+        if op == "solve":
+            if "digest" not in payload or "k" not in payload:
+                raise ReproError("solve requires 'digest' and 'k'")
+            result = service.submit(
+                payload["digest"],
+                payload["k"],
+                algorithm=payload.get("algorithm", "kDC"),
+                time_limit=payload.get("time_limit"),
+                node_limit=payload.get("node_limit"),
+            ).result()
+            return {
+                "ok": True,
+                "size": result.size,
+                "clique": list(result.clique),
+                "optimal": result.optimal,
+                "algorithm": result.algorithm,
+                "k": result.k,
+                "stats": result.stats.as_dict(),
+            }
+        if op == "stats":
+            return {"ok": True, "stats": service.stats()}
+        raise ReproError(f"unknown op {op!r}")
+    except (ReproError, TypeError, ValueError, KeyError) as exc:
+        return {"ok": False, "error": str(exc), "kind": type(exc).__name__}
+
+
+class _LineHandler(socketserver.StreamRequestHandler):
+    """One connection: read JSON lines, answer JSON lines."""
+
+    def handle(self) -> None:
+        server: "ServiceServer" = self.server  # type: ignore[assignment]
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                reply = {"ok": False, "error": f"bad JSON: {exc}", "kind": "JSONDecodeError"}
+            else:
+                if isinstance(payload, dict) and payload.get("op") == "shutdown":
+                    self._reply({"ok": True, "shutting_down": True})
+                    # shutdown() joins the serve loop, which waits for this
+                    # handler — stop from a helper thread to avoid deadlock.
+                    threading.Thread(target=server.shutdown, daemon=True).start()
+                    return
+                reply = handle_request(server.service, payload)
+            self._reply(reply)
+
+    def _reply(self, reply: Dict) -> None:
+        self.wfile.write(json.dumps(reply).encode("utf-8") + b"\n")
+        self.wfile.flush()
+
+
+class ServiceServer(socketserver.ThreadingTCPServer):
+    """Threaded TCP server wrapping one :class:`SolverService`.
+
+    Binding to port 0 picks an ephemeral port; read it back from
+    :attr:`address` (the CLI prints it on startup for exactly this reason).
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        service: Optional[SolverService] = None,
+        config: Optional[SolverConfig] = None,
+        max_concurrency: int = 4,
+    ) -> None:
+        self.service = service if service is not None else SolverService(
+            config=config, max_concurrency=max_concurrency
+        )
+        super().__init__((host, port), _LineHandler)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — the actual port even when 0 was requested."""
+        return self.server_address[0], self.server_address[1]
+
+    def server_close(self) -> None:
+        super().server_close()
+        self.service.close()
+
+
+def run_server(server: ServiceServer) -> None:
+    """Serve until a ``shutdown`` request (or KeyboardInterrupt), then clean up.
+
+    Prints the bound address first — ``repro serve --port 0`` callers parse
+    this line to learn the ephemeral port.
+    """
+    host, port = server.address
+    print(f"repro-serve listening on {host}:{port}", flush=True)
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        server.server_close()

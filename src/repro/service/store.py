@@ -1,0 +1,146 @@
+"""Digest-keyed graph store with per-``(graph, k)`` prepared-artifact slots.
+
+The store is the service's memory: each graph is loaded once (keyed by its
+canonical content digest, so re-adding the same graph — even built in a
+different vertex order — is a no-op) and each ``(graph, k, prepare-config)``
+combination is prepared at most once, no matter how many concurrent requests
+ask for it.  Single-flight deduplication hands every concurrent requester the
+same in-progress :class:`~concurrent.futures.Future` instead of preparing the
+artifact twice.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import Dict, Optional, Tuple
+
+from ..core.config import SolverConfig
+from ..core.prepared import PreparedInstance, prepare_instance
+from ..exceptions import UnknownGraphError
+from ..graphs.graph import Graph
+
+__all__ = ["GraphStore"]
+
+#: Cache key of one prepared-artifact slot: the digest, ``k``, and the three
+#: prepare-relevant configuration knobs (everything else — backend, engine,
+#: workers, budgets — is execute-side and shares the artifact).
+_PreparedKey = Tuple[str, int, str, bool, bool]
+
+
+class GraphStore:
+    """Thread-safe store of graphs and their prepared solve artifacts.
+
+    All methods may be called concurrently; preparation of distinct slots
+    proceeds in parallel while requests for the *same* slot block on one
+    shared computation (single-flight).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._graphs: Dict[str, Graph] = {}
+        self._names: Dict[str, str] = {}
+        self._prepared: Dict[_PreparedKey, PreparedInstance] = {}
+        self._inflight: Dict[_PreparedKey, Future] = {}
+        self._prepares = 0
+        self._prepared_hits = 0
+
+    # ------------------------------------------------------------------ #
+    # Graphs
+    # ------------------------------------------------------------------ #
+    def add(self, graph: Graph, name: Optional[str] = None) -> str:
+        """Register ``graph`` (copied) and return its content digest.
+
+        Adding a graph whose digest is already present is a cheap no-op that
+        returns the existing digest; ``name`` is a human-readable label kept
+        for listings only.
+        """
+        digest = graph.content_digest()
+        with self._lock:
+            if digest not in self._graphs:
+                self._graphs[digest] = graph.copy()
+            if name is not None:
+                self._names[digest] = name
+        return digest
+
+    def get(self, digest: str) -> Graph:
+        """Return the stored graph for ``digest`` (the store's own copy; do not mutate)."""
+        with self._lock:
+            graph = self._graphs.get(digest)
+        if graph is None:
+            raise UnknownGraphError(digest)
+        return graph
+
+    def __contains__(self, digest: str) -> bool:
+        with self._lock:
+            return digest in self._graphs
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._graphs)
+
+    def graphs(self) -> Dict[str, str]:
+        """Return ``{digest: name}`` for every stored graph (unnamed -> ``""``)."""
+        with self._lock:
+            return {d: self._names.get(d, "") for d in self._graphs}
+
+    # ------------------------------------------------------------------ #
+    # Prepared artifacts
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _key(digest: str, k: int, config: SolverConfig) -> _PreparedKey:
+        return (digest, k, config.initial_heuristic, config.use_rr5, config.use_rr6)
+
+    def prepared(
+        self, digest: str, k: int, config: Optional[SolverConfig] = None
+    ) -> PreparedInstance:
+        """Return the prepared artifact for ``(digest, k, config)``, building it once.
+
+        The first caller of a slot runs :func:`prepare_instance`; concurrent
+        callers of the same slot wait on that computation instead of
+        repeating it, and later callers get the cached artifact immediately.
+        A failed preparation is not cached — the next request retries.
+        """
+        if config is None:
+            config = SolverConfig()
+        key = self._key(digest, k, config)
+        with self._lock:
+            artifact = self._prepared.get(key)
+            if artifact is not None:
+                self._prepared_hits += 1
+                return artifact
+            inflight = self._inflight.get(key)
+            if inflight is None:
+                graph = self._graphs.get(digest)
+                if graph is None:
+                    raise UnknownGraphError(digest)
+                inflight = Future()
+                self._inflight[key] = inflight
+                owner = True
+            else:
+                owner = False
+        if not owner:
+            return inflight.result()
+        try:
+            artifact = prepare_instance(graph, k, config)
+        except BaseException as exc:
+            with self._lock:
+                del self._inflight[key]
+            inflight.set_exception(exc)
+            raise
+        with self._lock:
+            self._prepared[key] = artifact
+            self._prepares += 1
+            del self._inflight[key]
+        inflight.set_result(artifact)
+        return artifact
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, int]:
+        """Counters: stored graphs, artifacts built, artifact cache hits."""
+        with self._lock:
+            return {
+                "graphs": len(self._graphs),
+                "prepares": self._prepares,
+                "prepared_hits": self._prepared_hits,
+            }

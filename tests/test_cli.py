@@ -38,6 +38,17 @@ class TestParser:
         assert args.name == "table4"
         assert args.scale == "tiny"
 
+    def test_serve_arguments(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--max-concurrency", "2", "--backend", "bitset"]
+        )
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.max_concurrency == 2
+        assert args.backend == "bitset"
+        assert args.host == "127.0.0.1"
+        assert args.preload == []
+
 
 class TestCommands:
     def test_solve(self, clique_file, capsys):
@@ -94,3 +105,39 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "maximum clique size:              5" in out
         assert "size ratio" in out
+
+
+class TestErrorHandling:
+    """Library failures exit with a one-line error, never a traceback."""
+
+    def test_malformed_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.edges"
+        path.write_text("only-one-token-on-this-line\n")
+        code = main(["solve", str(path), "-k", "1"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "expected two vertex ids" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        code = main(["solve", str(tmp_path / "nope.edges"), "-k", "1"])
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_unknown_format_extension_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "graph.mystery"
+        path.write_text("0 1\n")
+        assert main(["solve", str(path), "-k", "1"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_keyboard_interrupt_exits_130(self, clique_file, capsys, monkeypatch):
+        from repro import cli
+
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setitem(cli._COMMANDS, "solve", interrupted)
+        code = main(["solve", clique_file, "-k", "1"])
+        assert code == 130
+        assert "interrupted" in capsys.readouterr().err

@@ -32,6 +32,7 @@ from repro.core import (
     KDCSolver,
     SolverConfig,
     is_k_defective_clique,
+    prepare_instance,
     variant_config,
 )
 from repro.graphs import gnp_random_graph
@@ -119,6 +120,44 @@ class TestWorkerMatrix:
         result = KDCSolver(config).solve(graph, 2)
         assert result.stats.workers == 2
         assert result.stats.subproblems + result.stats.subproblems_pruned > 0
+
+
+class TestPreparedMatrix:
+    """``solve_prepared`` joins the matrix: prepare-once-solve-twice per cell.
+
+    For every sequential and worker cell, one artifact is prepared and
+    executed twice, and both executes must return the same optimal size as
+    two fresh ``solve`` calls — pinning the compile/execute split to the
+    classic path across backends, engines, decomposition and worker pools.
+    """
+
+    @pytest.mark.parametrize("k", [1, 3])
+    def test_prepared_agrees_with_fresh_in_every_cell(self, k):
+        graph = gnp_random_graph(45, 0.30, seed=13)
+        for name, factory in {**SEQUENTIAL_CELLS, **WORKER_CELLS}.items():
+            config = factory()
+            solver = KDCSolver(config)
+            fresh = [_solve_size(graph, k, config) for _ in range(2)]
+            prepared = prepare_instance(graph, k, config)
+            repeated = []
+            for _ in range(2):
+                result = solver.solve_prepared(prepared)
+                assert result.optimal, name
+                assert is_k_defective_clique(graph, result.clique, k), name
+                repeated.append(result.size)
+            assert set(fresh) == set(repeated) and len(set(fresh)) == 1, (
+                f"{name}: fresh {fresh} vs prepared {repeated}"
+            )
+
+    def test_prepared_kdc_t_matches(self):
+        graph = gnp_random_graph(25, 0.35, seed=11)
+        for name, factory in KDC_T_CELLS.items():
+            config = factory()
+            expected = _solve_size(graph, 2, config)
+            prepared = prepare_instance(graph, 2, config)
+            result = KDCSolver(config).solve_prepared(prepared)
+            assert result.optimal and result.size == expected, name
+            assert is_k_defective_clique(graph, result.clique, 2), name
 
 
 class TestKdcTVariants:

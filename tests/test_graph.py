@@ -77,6 +77,64 @@ class TestConstruction:
         with pytest.raises(TypeError):
             hash(Graph())
 
+    def test_copy_deep_copies_isolated_vertex_adjacency(self):
+        # regression: the copy must not share adjacency sets even for
+        # vertices that have no neighbours at copy time
+        g = Graph(vertices=[0, 1])
+        h = g.copy()
+        h.add_edge(0, 1)
+        assert h.has_edge(0, 1)
+        assert not g.has_edge(0, 1)
+        assert g.degree(0) == 0 and g.degree(1) == 0
+
+
+class TestContentDigest:
+    def test_stable_under_insertion_order(self):
+        a = Graph()
+        for u, v in [(0, 1), (1, 2), (0, 2), (2, 3)]:
+            a.add_edge(u, v)
+        b = Graph()
+        for u, v in [(2, 3), (0, 2), (2, 1), (1, 0)]:
+            b.add_edge(u, v)
+        assert a.content_digest() == b.content_digest()
+
+    def test_is_a_hex_sha256(self):
+        digest = Graph(edges=[(0, 1)]).content_digest()
+        assert len(digest) == 64
+        int(digest, 16)  # hex-decodable
+
+    def test_changes_on_edge_add_and_remove(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        before = g.content_digest()
+        g.add_edge(0, 2)
+        added = g.content_digest()
+        assert added != before
+        g.remove_edge(0, 2)
+        assert g.content_digest() == before
+
+    def test_isolated_vertices_matter(self):
+        a = Graph(edges=[(0, 1)])
+        b = Graph(edges=[(0, 1)])
+        b.add_vertex(2)
+        assert a.content_digest() != b.content_digest()
+
+    def test_label_types_are_distinguished(self):
+        # "1" (str) and 1 (int) are different graphs, and must not collide
+        a = Graph(edges=[(0, 1)])
+        b = Graph(edges=[(0, "1")])
+        assert a.content_digest() != b.content_digest()
+
+    def test_matches_equal_graphs_only(self):
+        a = Graph(edges=[(0, 1), (1, 2)])
+        b = Graph(edges=[(1, 2), (0, 1)])
+        c = Graph(edges=[(0, 1), (0, 2)])
+        assert a == b and a.content_digest() == b.content_digest()
+        assert a != c and a.content_digest() != c.content_digest()
+
+    def test_copy_preserves_digest(self):
+        g = Graph(edges=[(0, 1), (1, 2), ("x", "y")])
+        assert g.copy().content_digest() == g.content_digest()
+
 
 class TestVertexOperations:
     def test_add_vertex_idempotent(self):
