@@ -17,6 +17,13 @@ session — the conftest fixture for pytest runs, an ``atexit`` hook for
 backend/engine/workers) is tracked across PRs.  ``REPRO_BENCH_JSON_DIR``
 selects the output directory (default: the current working directory); CI
 uploads the files as artifacts.
+
+Each flush also **dual-writes** the rows into the SQLite experiment store
+(:class:`repro.bench.store.ExperimentStore`, one run per recorder labelled
+``bench:<name>``), so the flat JSON snapshots and the queryable trajectory
+stay in lockstep.  ``REPRO_BENCH_DB`` overrides the store path; setting it
+to an empty string disables the store write (the JSON files are always
+written).
 """
 
 from __future__ import annotations
@@ -45,6 +52,10 @@ class BenchRecorder:
     def __init__(self, name: str) -> None:
         self.name = name
         self.records: List[Dict[str, object]] = []
+        #: record count at the last store dual-write; the conftest flush and
+        #: the atexit backstop both call :meth:`write`, and only one of them
+        #: should append a run to the trajectory store
+        self._store_written = 0
 
     # ------------------------------------------------------------------ #
     def record(self, instance: str, **fields: object) -> None:
@@ -94,7 +105,7 @@ class BenchRecorder:
 
     # ------------------------------------------------------------------ #
     def write(self, directory: Optional[str] = None) -> str:
-        """Write ``BENCH_<name>.json`` and return its path."""
+        """Write ``BENCH_<name>.json`` (and the experiment store); return the JSON path."""
         directory = directory or os.environ.get("REPRO_BENCH_JSON_DIR", ".")
         os.makedirs(directory, exist_ok=True)
         path = os.path.join(directory, f"BENCH_{self.name}.json")
@@ -110,7 +121,45 @@ class BenchRecorder:
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=False)
             handle.write("\n")
+        self.write_store(directory)
         return path
+
+    def write_store(self, directory: str) -> Optional[str]:
+        """Dual-write the rows into the SQLite experiment store; return its path.
+
+        The store path is ``<directory>/BENCH_trajectory.sqlite`` unless
+        ``REPRO_BENCH_DB`` overrides it (empty string = disabled).  Rows with
+        identical keyfields replace each other (latest measurement wins), so
+        re-flushing is idempotent.  Missing ``repro`` on ``sys.path`` —
+        possible for bare ``python benchmarks/bench_*.py`` runs — downgrades
+        the store write to a no-op rather than losing the JSON flush.
+        """
+        db_path = os.environ.get("REPRO_BENCH_DB")
+        if db_path == "":
+            return None
+        if db_path is None:
+            db_path = os.path.join(directory, "BENCH_trajectory.sqlite")
+        if len(self.records) == self._store_written:
+            return db_path  # nothing new since the last flush
+        try:
+            from repro.bench.store import ExperimentStore, split_record
+        except ImportError:
+            return None
+        with ExperimentStore(db_path) as store:
+            run_id = store.begin_run(
+                label=f"bench:{self.name}",
+                meta={
+                    "bench": self.name,
+                    "scale": bench_scale(),
+                    "time_limit": bench_time_limit(),
+                },
+            )
+            for record in self.records:
+                keyfields, resultfields, extra = split_record(record)
+                store.record(run_id, keyfields, resultfields, extra=extra)
+            store.finish_run(run_id, status="complete")
+        self._store_written = len(self.records)
+        return db_path
 
 
 #: Registry of recorders, keyed by bench name; flushed at session end.

@@ -12,7 +12,13 @@ Sub-commands
 * ``compare``     — run several algorithms on one graph and tabulate them;
 * ``top-r``       — top-r maximal or diversified k-defective cliques;
 * ``properties``  — Tables 5–7 style analysis of one graph;
-* ``experiments`` — run one of the paper's table/figure reproductions;
+* ``experiments`` — run one of the paper's table/figure reproductions, or
+  drive the SQLite experiment store: ``experiments run`` executes the
+  instance × k × algorithm × backend × engine × workers matrix with
+  per-cell checkpoints (interrupted campaigns resume), ``experiments
+  compare`` diffs a fresh run against the stored trajectory and exits
+  non-zero on a >20% median node-throughput regression in any
+  (backend, engine) cell, and ``experiments export`` dumps a run as JSON;
 * ``stats``       — print structural statistics of a graph file;
 * ``generate``    — write a synthetic collection to disk as edge-list files;
 * ``gamma``       — print the theoretical branching factors γ_k and σ_k;
@@ -130,10 +136,90 @@ def build_parser() -> argparse.ArgumentParser:
     properties.add_argument("--time-limit", type=float, default=None)
     properties.add_argument("--format", default="auto", choices=["auto", "edgelist", "dimacs", "metis"])
 
-    experiments = subparsers.add_parser("experiments", help="reproduce a table or figure of the paper")
-    experiments.add_argument("name", choices=sorted(EXPERIMENTS), help="experiment to run")
-    experiments.add_argument("--scale", default="tiny", choices=list(SCALES))
-    experiments.add_argument("--time-limit", type=float, default=None, help="per-instance budget in seconds")
+    experiments = subparsers.add_parser(
+        "experiments",
+        help="paper reproductions plus the SQLite experiment store (run/compare/export)",
+    )
+    exp_sub = experiments.add_subparsers(dest="name", required=True, metavar="NAME")
+    for exp_name in sorted(EXPERIMENTS):
+        paper_exp = exp_sub.add_parser(exp_name, help=f"reproduce {exp_name} of the paper")
+        paper_exp.add_argument("--scale", default="tiny", choices=list(SCALES))
+        paper_exp.add_argument(
+            "--time-limit", type=float, default=None, help="per-instance budget in seconds"
+        )
+
+    exp_run = exp_sub.add_parser(
+        "run",
+        help="execute the instance x k x algorithm x backend x engine x workers "
+        "matrix into a SQLite experiment store, checkpointing each cell "
+        "(an interrupted campaign resumes instead of restarting)",
+    )
+    exp_run.add_argument("--db", default="experiments.sqlite", help="experiment store file")
+    exp_run.add_argument("--label", default="matrix", help="run label recorded in the store")
+    exp_run.add_argument(
+        "--collections",
+        nargs="+",
+        default=["facebook_like"],
+        choices=list(COLLECTION_NAMES),
+        help="dataset collections forming the instance axis",
+    )
+    exp_run.add_argument("--scale", default="tiny", choices=list(SCALES))
+    exp_run.add_argument(
+        "--instance-limit",
+        type=int,
+        default=None,
+        help="take only the first N instances of each collection",
+    )
+    exp_run.add_argument("--k", nargs="+", type=int, default=[1], help="k values to test")
+    exp_run.add_argument(
+        "--algorithms", nargs="+", default=["kDC"], choices=list(ALGORITHMS) + ["MADEC+"]
+    )
+    exp_run.add_argument("--backends", nargs="+", default=["set", "bitset"], choices=list(BACKEND_NAMES))
+    exp_run.add_argument("--engines", nargs="+", default=["trail", "copy"], choices=list(ENGINE_NAMES))
+    exp_run.add_argument("--workers", nargs="+", type=int, default=[1], help="worker-process counts")
+    exp_run.add_argument("--time-limit", type=float, default=2.0, help="per-cell budget in seconds")
+    exp_run.add_argument(
+        "--max-cells", type=int, default=None, help="execute at most N missing cells, then stop"
+    )
+    exp_run.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="always start a fresh run row instead of resuming an unfinished campaign",
+    )
+
+    exp_compare = exp_sub.add_parser(
+        "compare",
+        help="diff a fresh run against the stored trajectory; exits 1 when any "
+        "(backend, engine) cell's median node throughput regressed by more "
+        "than the threshold",
+    )
+    exp_compare.add_argument("--db", default="experiments.sqlite", help="candidate experiment store")
+    exp_compare.add_argument(
+        "--baseline-db",
+        default=None,
+        help="baseline experiment store (default: the candidate store itself)",
+    )
+    exp_compare.add_argument(
+        "--baseline", type=int, default=None, help="baseline run id (default: latest before the candidate)"
+    )
+    exp_compare.add_argument(
+        "--candidate", type=int, default=None, help="candidate run id (default: latest run with cells)"
+    )
+    exp_compare.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="regression threshold as a fraction of baseline median throughput (default 0.20)",
+    )
+
+    exp_export = exp_sub.add_parser(
+        "export", help="export one run (run row, cells, logs) as JSON"
+    )
+    exp_export.add_argument("--db", default="experiments.sqlite", help="experiment store file")
+    exp_export.add_argument(
+        "--run", type=int, default=None, help="run id to export (default: latest run with cells)"
+    )
+    exp_export.add_argument("--out", default=None, help="output file (default: stdout)")
 
     stats = subparsers.add_parser("stats", help="print structural statistics of a graph file")
     stats.add_argument("path")
@@ -260,11 +346,118 @@ def _cmd_properties(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
+    if args.name == "run":
+        return _cmd_experiments_run(args)
+    if args.name == "compare":
+        return _cmd_experiments_compare(args)
+    if args.name == "export":
+        return _cmd_experiments_export(args)
     kwargs = {"scale": args.scale}
     if args.time_limit is not None:
         kwargs["time_limit"] = args.time_limit
     result = run_experiment(args.name, **kwargs)
     print(result.text)
+    return 0
+
+
+def _cmd_experiments_run(args: argparse.Namespace) -> int:
+    # Imported lazily like `serve`: the store machinery (sqlite) is only
+    # needed by the experiments surface.
+    from .bench.runner import MatrixSpec, run_matrix
+    from .bench.store import ExperimentStore
+
+    spec = MatrixSpec(
+        collections=tuple(args.collections),
+        scale=args.scale,
+        k_values=tuple(args.k),
+        algorithms=tuple(args.algorithms),
+        backends=tuple(args.backends),
+        engines=tuple(args.engines),
+        workers=tuple(args.workers),
+        time_limit=args.time_limit,
+        instance_limit=args.instance_limit,
+    )
+
+    def progress(keyfields, record):
+        cell = "/".join(
+            str(keyfields[f]) for f in ("collection", "instance", "k", "algorithm")
+        )
+        axes = f"{keyfields['backend'] or '-'}:{keyfields['engine'] or '-'}:w{keyfields['workers']}"
+        print(
+            f"  {cell} [{axes}] size={record.size}"
+            f" nodes={record.nodes} {record.elapsed_seconds:.3f}s",
+            flush=True,
+        )
+
+    with ExperimentStore(args.db) as store:
+        report = run_matrix(
+            store,
+            spec,
+            label=args.label,
+            resume=not args.no_resume,
+            max_cells=args.max_cells,
+            progress=progress,
+        )
+    print(report.summary())
+    return 0
+
+
+def _cmd_experiments_compare(args: argparse.Namespace) -> int:
+    from .bench.store import ExperimentStore, compare_runs
+
+    baseline_db = args.baseline_db if args.baseline_db is not None else args.db
+    same_db = os.path.abspath(baseline_db) == os.path.abspath(args.db)
+    with ExperimentStore(args.db) as candidate_store:
+        candidate_run = args.candidate
+        if candidate_run is None:
+            candidate_run = candidate_store.latest_run(with_cells=True)
+        if candidate_run is None:
+            raise ReproError(f"no runs with recorded cells in {args.db}")
+        candidate_rows = candidate_store.rows(candidate_run)
+
+        baseline_store = candidate_store if same_db else ExperimentStore(baseline_db)
+        try:
+            baseline_run = args.baseline
+            if baseline_run is None:
+                # In a single store, compare the candidate against the run
+                # before it; across two stores, against the baseline's latest.
+                exclude = (candidate_run,) if same_db else ()
+                baseline_run = baseline_store.latest_run(with_cells=True, exclude=exclude)
+                if baseline_run is None and same_db:
+                    baseline_run = candidate_run  # only one run: self-compare
+            if baseline_run is None:
+                raise ReproError(f"no baseline runs with recorded cells in {baseline_db}")
+            baseline_rows = baseline_store.rows(baseline_run)
+        finally:
+            if not same_db:
+                baseline_store.close()
+
+    print(f"baseline: run {baseline_run} of {baseline_db}")
+    print(f"candidate: run {candidate_run} of {args.db}")
+    report = compare_runs(baseline_rows, candidate_rows, threshold=args.threshold)
+    print(report.format_table())
+    return 0 if report.ok else 1
+
+
+def _cmd_experiments_export(args: argparse.Namespace) -> int:
+    import json
+
+    from .bench.store import ExperimentStore
+
+    with ExperimentStore(args.db) as store:
+        run_id = args.run
+        if run_id is None:
+            run_id = store.latest_run(with_cells=True)
+        if run_id is None:
+            raise ReproError(f"no runs with recorded cells in {args.db}")
+        payload = store.export_run(run_id)
+    text = json.dumps(payload, indent=2, sort_keys=False)
+    if args.out is None:
+        print(text)
+    else:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"exported run {run_id} -> {args.out}")
     return 0
 
 

@@ -61,6 +61,18 @@ class ServiceError(ReproError):
     """Base class for errors raised by the solver service layer."""
 
 
+class ServiceClosedError(ServiceError):
+    """Raised when a request reaches a :class:`SolverService` after ``close()``.
+
+    Submissions racing a concurrent ``close()`` raise this (catchable,
+    derives from :class:`ReproError`) instead of leaking the executor's raw
+    ``RuntimeError("cannot schedule new futures after shutdown")``.
+    """
+
+    def __init__(self, message: str = "service is closed; cannot accept new requests") -> None:
+        super().__init__(message)
+
+
 class UnknownGraphError(ServiceError, KeyError):
     """Raised when a service request references a graph digest not in the store."""
 

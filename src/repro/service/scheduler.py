@@ -35,7 +35,7 @@ from typing import Dict, Optional, Tuple, Union
 from ..core.config import VARIANT_NAMES, SolverConfig, variant_config
 from ..core.result import SolveResult
 from ..core.solver import KDCSolver
-from ..exceptions import InvalidParameterError
+from ..exceptions import InvalidParameterError, ServiceClosedError
 from ..graphs.graph import Graph
 from .store import GraphStore
 
@@ -141,14 +141,20 @@ class SolverService:
         UnknownGraphError
             Immediately (not through the future) when ``digest`` is not in
             the store.
+        ServiceClosedError
+            When the service has been closed — including a submit racing a
+            concurrent :meth:`close` (the closed check and the executor
+            hand-off happen under one lock, so a request either lands before
+            the shutdown or fails with this catchable error, never with the
+            executor's raw ``RuntimeError``).
         """
-        if self._closed:
-            raise InvalidParameterError("service is closed")
         self.store.get(digest)  # fail fast on unknown digests
         self._solver_for(algorithm)  # fail fast on unknown algorithms
         request_key: _RequestKey = (digest, k, algorithm, time_limit, node_limit)
         submitted = time.perf_counter()
         with self._lock:
+            if self._closed:
+                raise ServiceClosedError()
             self._requests += 1
             cached = self._results.get(self._result_key(digest, k, algorithm))
             if cached is not None:
@@ -160,9 +166,12 @@ class SolverService:
             if running is not None:
                 self._coalesced += 1
                 return self._follow(running)
-            future = self._executor.submit(
-                self._run, digest, k, algorithm, time_limit, node_limit, submitted
-            )
+            try:
+                future = self._executor.submit(
+                    self._run, digest, k, algorithm, time_limit, node_limit, submitted
+                )
+            except RuntimeError as exc:  # executor shut down out-of-band
+                raise ServiceClosedError() from exc
             self._inflight[request_key] = future
         future.add_done_callback(lambda _f: self._forget(request_key))
         return future
@@ -235,11 +244,35 @@ class SolverService:
         with self._lock:
             self._solves += 1
             if result.optimal:
-                self._results.setdefault(self._result_key(digest, k, algorithm), result)
+                # Cache a private copy, never the object handed to the
+                # caller: a caller mutating its answer (clique list, stats)
+                # must not corrupt every later cache hit.
+                self._results.setdefault(
+                    self._result_key(digest, k, algorithm), self._copy_result(result)
+                )
         return result
 
     @staticmethod
-    def _cache_hit_copy(result: SolveResult) -> SolveResult:
+    def _copy_result(result: SolveResult) -> SolveResult:
+        """A deep-enough independent copy of ``result``.
+
+        The clique list and the stats object (including its mutable
+        ``reductions`` dict) are what callers can reach and mutate; both are
+        copied.  Used on the cache's write side (so the cached entry is
+        isolated from the first caller) and by :meth:`_cache_hit_copy` on
+        its read side (so no two callers share an answer either).
+        """
+        return SolveResult(
+            clique=list(result.clique),
+            size=result.size,
+            k=result.k,
+            optimal=result.optimal,
+            algorithm=result.algorithm,
+            stats=copy.deepcopy(result.stats),
+        )
+
+    @classmethod
+    def _cache_hit_copy(cls, result: SolveResult) -> SolveResult:
         """An independent copy of a cached answer, marked ``cache_hit``.
 
         Search counters (nodes, prunes, ...) are preserved — they describe
@@ -247,20 +280,13 @@ class SolverService:
         are zeroed: this request spent no measurable time preparing or
         searching.
         """
-        stats = copy.deepcopy(result.stats)
-        stats.cache_hit = True
-        stats.queue_ms = 0.0
-        stats.prepare_ms = 0.0
-        stats.solve_ms = 0.0
-        stats.elapsed_seconds = 0.0
-        return SolveResult(
-            clique=list(result.clique),
-            size=result.size,
-            k=result.k,
-            optimal=result.optimal,
-            algorithm=result.algorithm,
-            stats=stats,
-        )
+        out = cls._copy_result(result)
+        out.stats.cache_hit = True
+        out.stats.queue_ms = 0.0
+        out.stats.prepare_ms = 0.0
+        out.stats.solve_ms = 0.0
+        out.stats.elapsed_seconds = 0.0
+        return out
 
     # ------------------------------------------------------------------ #
     # Lifecycle and introspection
@@ -279,8 +305,15 @@ class SolverService:
         return data
 
     def close(self) -> None:
-        """Finish in-flight work and shut the worker pool down."""
-        self._closed = True
+        """Finish in-flight work and shut the worker pool down.
+
+        The closed flag is flipped under the submission lock: any submit
+        holding the lock finishes its executor hand-off first, and every
+        later submit sees the flag and raises
+        :class:`~repro.exceptions.ServiceClosedError`.
+        """
+        with self._lock:
+            self._closed = True
         self._executor.shutdown(wait=True)
 
     def __enter__(self) -> "SolverService":

@@ -38,6 +38,39 @@ class TestParser:
         assert args.name == "table4"
         assert args.scale == "tiny"
 
+    def test_experiments_run_arguments(self):
+        args = build_parser().parse_args(
+            [
+                "experiments", "run", "--db", "x.sqlite", "--k", "1", "3",
+                "--backends", "bitset", "--engines", "trail", "copy",
+                "--workers", "1", "2", "--max-cells", "5", "--no-resume",
+            ]
+        )
+        assert args.name == "run"
+        assert args.db == "x.sqlite"
+        assert args.k == [1, 3]
+        assert args.backends == ["bitset"]
+        assert args.engines == ["trail", "copy"]
+        assert args.workers == [1, 2]
+        assert args.max_cells == 5
+        assert args.no_resume
+
+    def test_experiments_compare_and_export_arguments(self):
+        args = build_parser().parse_args(
+            ["experiments", "compare", "--db", "a.sqlite", "--baseline-db", "b.sqlite",
+             "--threshold", "0.3"]
+        )
+        assert args.name == "compare"
+        assert args.baseline_db == "b.sqlite"
+        assert args.threshold == 0.3
+        args = build_parser().parse_args(["experiments", "export", "--run", "2"])
+        assert args.name == "export"
+        assert args.run == 2
+
+    def test_experiments_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiments"])
+
     def test_serve_arguments(self):
         args = build_parser().parse_args(
             ["serve", "--port", "0", "--max-concurrency", "2", "--backend", "bitset"]

@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
 from repro.core import KDCSolver, SolverConfig, is_k_defective_clique, variant_config
-from repro.exceptions import ServiceError, UnknownGraphError
+from repro.exceptions import ReproError, ServiceClosedError, ServiceError, UnknownGraphError
 from repro.graphs import gnp_random_graph
 from repro.graphs.graph import Graph
 from repro.service import (
@@ -93,6 +94,65 @@ class TestGraphStore:
         assert all(r is results[0] for r in results)
         assert store.stats()["prepares"] == 1
 
+    def test_prepare_failure_propagates_and_is_not_cached(self, graph, monkeypatch):
+        """A failing prepare reaches *every* concurrent waiter and is retried.
+
+        The owner of the in-flight slot raises; waiters blocked on the
+        shared future receive the same exception (not a hang, not a stale
+        artifact), nothing is cached, and the next request runs the prepare
+        again.
+        """
+        store = GraphStore()
+        digest = store.add(graph)
+        entered = threading.Event()
+        release = threading.Event()
+        calls = []
+        failing = [True]
+        from repro.core.prepared import prepare_instance as real_prepare
+
+        def fake_prepare(g, k, config):
+            calls.append(1)
+            entered.set()
+            assert release.wait(10), "test orchestration stalled"
+            if failing[0]:
+                raise RuntimeError("prepare exploded")
+            return real_prepare(g, k, config)
+
+        monkeypatch.setattr("repro.service.store.prepare_instance", fake_prepare)
+
+        errors = []
+
+        def fetch():
+            try:
+                store.prepared(digest, 2)
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        owner = threading.Thread(target=fetch)
+        owner.start()
+        assert entered.wait(10)
+        waiters = [threading.Thread(target=fetch) for _ in range(3)]
+        for t in waiters:
+            t.start()
+        time.sleep(0.2)  # let the waiters attach to the in-flight future
+        release.set()
+        owner.join(10)
+        for t in waiters:
+            t.join(10)
+
+        assert len(errors) == 4
+        assert all("prepare exploded" in str(e) for e in errors)
+        # single-flight even on the failure path: one prepare served all four
+        assert len(calls) == 1
+        # the failure is not cached ...
+        assert store.stats()["prepares"] == 0
+        # ... so the next request retries, and this time succeeds
+        failing[0] = False
+        artifact = store.prepared(digest, 2)
+        assert artifact is not None
+        assert store.stats()["prepares"] == 1
+        assert len(calls) == 2
+
 
 class TestSolverService:
     def test_cache_hit_only_after_first_answer(self, graph):
@@ -149,6 +209,74 @@ class TestSolverService:
             assert result.stats.prepare_ms > 0
             assert result.stats.queue_ms >= 0
             assert result.stats.solve_ms >= 0
+
+    def test_cache_survives_caller_mutation(self, graph):
+        """Mutating the first answer must not corrupt later cache hits."""
+        with SolverService() as service:
+            digest = service.store.add(graph)
+            first = service.solve(digest, 1)
+            expected_size = first.size
+            expected_nodes = first.stats.nodes
+            expected_reductions = dict(first.stats.reductions)
+            # A rude caller trashes everything reachable from its answer.
+            first.clique.clear()
+            first.stats.nodes = -12345
+            first.stats.reductions.clear()
+            first.stats.reductions["bogus"] = 99
+
+            second = service.solve(digest, 1)
+            assert second.stats.cache_hit
+            assert second.size == expected_size
+            assert len(second.clique) == expected_size
+            assert second.stats.nodes == expected_nodes
+            assert second.stats.reductions == expected_reductions
+            # cache hits are independent copies too: breaking one does not
+            # leak into the next
+            second.clique.clear()
+            third = service.solve(digest, 1)
+            assert third.stats.cache_hit
+            assert len(third.clique) == expected_size
+
+    def test_submit_after_close_raises_catchable_error(self, graph):
+        service = SolverService()
+        digest = service.store.add(graph)
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.submit(digest, 1)
+        # the error is part of the library hierarchy, so `except ReproError`
+        # at the CLI/server boundary catches it
+        assert issubclass(ServiceClosedError, ServiceError)
+
+    def test_close_submit_race_is_a_service_error(self, graph):
+        """Submits racing close() fail with ServiceClosedError, never with the
+        executor's raw RuntimeError."""
+        for _ in range(5):
+            service = SolverService(max_concurrency=2)
+            digest = service.store.add(graph)
+            unexpected = []
+            closed_errors = []
+            start = threading.Event()
+
+            def hammer():
+                start.wait(5)
+                for _ in range(50):
+                    try:
+                        service.submit(digest, 1, node_limit=1)
+                    except ServiceClosedError as exc:
+                        closed_errors.append(exc)
+                    except BaseException as exc:  # pragma: no cover - the bug
+                        unexpected.append(exc)
+
+            threads = [threading.Thread(target=hammer) for _ in range(4)]
+            for t in threads:
+                t.start()
+            start.set()
+            time.sleep(0.005)
+            service.close()
+            for t in threads:
+                t.join(10)
+            assert not unexpected, f"raw errors escaped: {unexpected!r}"
+            assert all(isinstance(e, ReproError) for e in closed_errors)
 
 
 class TestConcurrentDifferential:
