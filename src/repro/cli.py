@@ -269,6 +269,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes per solve for the degeneracy decomposition (default 1)",
     )
     serve.add_argument(
+        "--default-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="end-to-end deadline applied to requests that carry none "
+             "(queue wait + prepare + solve; default: no deadline)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission-control bound on queued requests; beyond it requests "
+             "are shed with a retry-after hint (default: unbounded)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="on shutdown (SIGTERM/SIGINT/shutdown op), how long to drain "
+             "in-flight solves before cancelling them (default: wait forever)",
+    )
+    serve.add_argument(
         "--preload",
         nargs="*",
         default=[],
@@ -489,6 +513,9 @@ def _cmd_gamma(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     # Imported lazily: every other sub-command works without the service
     # machinery, and keeping the import here keeps their startup unchanged.
+    import signal
+    import threading
+
     from .core.config import SolverConfig
     from .service import ServiceServer, run_server
 
@@ -498,14 +525,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         config=config,
         max_concurrency=args.max_concurrency,
+        default_deadline=args.default_deadline,
+        max_pending=args.max_pending,
+        drain_timeout=args.drain_timeout,
     )
     for path in args.preload:
         graph = load_graph(path, fmt=args.format)
         digest = server.service.store.add(graph, name=os.path.basename(path))
         print(f"preloaded {path}: digest {digest}", flush=True)
+
+    def _graceful_stop(signum, _frame) -> None:
+        # shutdown() joins the serve loop; calling it from the signal frame
+        # (which interrupts that very loop) would deadlock — stop from a
+        # helper thread, then run_server's cleanup drains the service.
+        print(f"received signal {signum}; draining and shutting down", flush=True)
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(sig, _graceful_stop)
+        except ValueError:  # pragma: no cover - non-main thread (embedded use)
+            pass
     try:
         run_server(server)
-    except KeyboardInterrupt:
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C fallback
         server.server_close()
     return 0
 

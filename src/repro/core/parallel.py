@@ -78,6 +78,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..exceptions import BudgetExceededError
 from ..graphs.degeneracy import degeneracy_ordering
 from ..graphs.graph import Graph
+from ..testing import chaos as faults
 from .config import SolverConfig
 from .decompose import solve_anchor
 from .result import SearchStats
@@ -238,6 +239,10 @@ def _solve_batch(task: Tuple[int, Sequence[int]]):
     index, anchors = task
     ctx = _CTX
     assert ctx is not None, "_solve_batch called outside an initialised worker"
+    # Chaos fault point: lets the fault-injection harness kill this worker
+    # process (plain or after publishing a phantom bound) or delay a batch,
+    # deterministically pinned by batch index.  No-op outside chaos tests.
+    faults.fire("parallel.batch", index=index, best_size=ctx.best_size)
     stats = SearchStats()
     node_check, poll, flush = _make_budget_check(ctx)
     adj = ctx.adj

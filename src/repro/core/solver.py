@@ -115,9 +115,12 @@ class _SolveRun:
     incumbent, statistics and budget clock.
     """
 
-    def __init__(self, config: SolverConfig, name: str) -> None:
+    def __init__(
+        self, config: SolverConfig, name: str, cancel: Optional[threading.Event] = None
+    ) -> None:
         self.config = config
         self.name = name
+        self.cancel = cancel
         self.stats = SearchStats()
         self.best: List[int] = []
         start = time.perf_counter()
@@ -286,6 +289,8 @@ class _SolveRun:
         engine.run(adj_bits, (1 << width) - 1, k)
 
     def _check_budget(self) -> None:
+        if self.cancel is not None and self.cancel.is_set():
+            raise BudgetExceededError("solve cancelled")
         if self.deadline is not None and time.perf_counter() > self.deadline:
             raise BudgetExceededError("time limit exceeded")
         if self.node_limit is not None and self.stats.nodes >= self.node_limit:
@@ -405,6 +410,7 @@ class KDCSolver:
         *,
         time_limit: Optional[float] = None,
         node_limit: Optional[int] = None,
+        cancel: Optional[threading.Event] = None,
     ) -> SolveResult:
         """Execute the branch-and-bound against an already-prepared artifact.
 
@@ -429,6 +435,12 @@ class KDCSolver:
         time_limit, node_limit:
             Per-call budget overrides; when omitted the solver
             configuration's budgets apply.
+        cancel:
+            Optional :class:`threading.Event` polled alongside the budgets
+            at every branch-and-bound node; setting it makes the solve
+            return its best-so-far result with ``optimal=False`` promptly.
+            This is the cooperative-cancellation hook the service's
+            graceful drain uses.
 
         Returns
         -------
@@ -452,7 +464,7 @@ class KDCSolver:
             overrides["node_limit"] = node_limit
         if overrides:
             config = dataclasses.replace(config, **overrides)
-        run = _SolveRun(config, self.name)
+        run = _SolveRun(config, self.name, cancel=cancel)
         return run.execute_prepared(prepared, k)
 
 

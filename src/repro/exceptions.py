@@ -66,10 +66,58 @@ class ServiceClosedError(ServiceError):
 
     Submissions racing a concurrent ``close()`` raise this (catchable,
     derives from :class:`ReproError`) instead of leaking the executor's raw
-    ``RuntimeError("cannot schedule new futures after shutdown")``.
+    ``RuntimeError("cannot schedule new futures after shutdown")``.  Requests
+    still queued when a graceful drain's deadline expires fail with it too.
     """
 
     def __init__(self, message: str = "service is closed; cannot accept new requests") -> None:
+        super().__init__(message)
+
+
+class DeadlineExceededError(ServiceError):
+    """Raised when a request's end-to-end deadline expires before its answer.
+
+    The deadline covers the *whole* request — queue wait, artifact
+    preparation, and the solve itself.  A request whose deadline expires
+    while still queued is cancelled without entering the engine; one whose
+    deadline interrupts the solve reports the best size found so far in the
+    message.  Distinct from a ``time_limit`` budget, which bounds only the
+    solve phase and returns a partial (``optimal=False``) result instead of
+    raising.
+    """
+
+    def __init__(self, message: str = "request deadline exceeded") -> None:
+        super().__init__(message)
+
+
+class ServiceOverloadedError(ServiceError):
+    """Raised when admission control sheds a request instead of queueing it.
+
+    Carries ``retry_after`` — the service's estimate (in seconds) of when
+    capacity frees up — so well-behaved clients can back off instead of
+    hammering an overloaded service.
+    """
+
+    def __init__(
+        self,
+        message: str = "service overloaded; request shed",
+        retry_after: float = 1.0,
+        queue_depth: int = 0,
+    ) -> None:
+        super().__init__(f"{message} (queue depth {queue_depth}, retry after {retry_after:.2f}s)")
+        self.retry_after = retry_after
+        self.queue_depth = queue_depth
+
+
+class ClientTimeoutError(ServiceError):
+    """Raised when a :class:`~repro.service.client.Client` socket read times out.
+
+    After a timeout the connection's request/reply pairing is unknown (a
+    late reply could be mis-attributed to the next request), so the client
+    marks itself broken and refuses further requests — reconnect instead.
+    """
+
+    def __init__(self, message: str = "timed out waiting for a service reply") -> None:
         super().__init__(message)
 
 

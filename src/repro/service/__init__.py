@@ -20,6 +20,15 @@ a query-serving pipeline built on the compile/execute split of
 Every answer carries request-level statistics (``cache_hit``,
 ``prepare_ms``, ``queue_ms``, ``solve_ms``) in its
 :class:`~repro.core.result.SearchStats`.
+
+The layer is hardened for long-lived deployment: end-to-end request
+deadlines (typed :class:`~repro.exceptions.DeadlineExceededError`),
+admission control with fast-fail shedding
+(:class:`~repro.exceptions.ServiceOverloadedError` carrying a
+``retry_after`` hint), LRU-bounded caches, graceful drain on shutdown
+(``close(drain_timeout=...)``), and client-side retry with exponential
+backoff.  The deterministic fault-injection harness behind its chaos suite
+lives in :mod:`repro.testing.chaos`.
 """
 
 from .client import Client

@@ -10,65 +10,197 @@ One :class:`Client` class speaks both transports:
 
 Either way the reply dictionaries are identical, because the socket server
 routes through the very same ``handle_request``.
+
+Failure handling is typed: an ``{"ok": false, "kind": ...}`` reply is
+re-raised as the matching exception class
+(:class:`~repro.exceptions.DeadlineExceededError`,
+:class:`~repro.exceptions.ServiceOverloadedError` with its ``retry_after``,
+:class:`~repro.exceptions.ServiceClosedError`; anything else as plain
+:class:`~repro.exceptions.ServiceError`).  A socket read that exceeds the
+per-request timeout raises :class:`~repro.exceptions.ClientTimeoutError`
+and marks the client broken — on a line-oriented protocol a late reply
+would be mis-paired with the next request, so reconnect instead of reusing
+the connection.
+
+Overload sheds are retryable: construct the client with ``max_retries > 0``
+and idempotent operations (everything except ``shutdown``) retry
+:class:`ServiceOverloadedError` replies with exponential backoff, full
+jitter, and the service's ``retry_after`` estimate as the floor.
 """
 
 from __future__ import annotations
 
 import json
+import logging
+import random
 import socket
-from typing import Dict, List, Optional, Sequence, Tuple
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..exceptions import ServiceError
+from ..exceptions import (
+    ClientTimeoutError,
+    DeadlineExceededError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+)
 from ..graphs.graph import Graph
 from .scheduler import SolverService
 from .server import handle_request
 
 __all__ = ["Client"]
 
+logger = logging.getLogger("repro.service.client")
+
+#: Extra socket-read allowance on top of a solve's own deadline/time budget,
+#: mirroring the server's reply grace so the client does not give up first.
+_READ_GRACE_SECONDS = 10.0
+
 
 class Client:
     """Talk to a :class:`SolverService`, in-process or across a socket.
 
     Replies are the protocol dictionaries documented in
-    :mod:`repro.service.server`; every method raises :class:`ServiceError`
-    when the service answers ``{"ok": false, ...}``.
+    :mod:`repro.service.server`; every method raises the matching
+    :class:`ServiceError` subclass when the service answers
+    ``{"ok": false, ...}``.
+
+    Parameters
+    ----------
+    service / sock:
+        Exactly one of the two transports.
+    request_timeout:
+        Default socket-read timeout per request, seconds (``None`` = wait
+        forever).  Solve calls automatically extend it to cover their own
+        ``deadline``/``time_limit`` budget.
+    max_retries:
+        How many times idempotent requests retry after an overload shed
+        (default 0 = fail fast).
+    backoff_base / backoff_cap:
+        Exponential-backoff schedule for those retries, seconds; each delay
+        is jittered and floored at the service's ``retry_after`` estimate.
     """
 
     def __init__(
         self,
         service: Optional[SolverService] = None,
         sock: Optional[socket.socket] = None,
+        *,
+        request_timeout: Optional[float] = 30.0,
+        max_retries: int = 0,
+        backoff_base: float = 0.1,
+        backoff_cap: float = 2.0,
+        rng: Optional[random.Random] = None,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if (service is None) == (sock is None):
             raise ServiceError("pass exactly one of 'service' (in-process) or 'sock'")
         self._service = service
         self._sock = sock
         self._rfile = sock.makefile("rb") if sock is not None else None
+        self._broken = False
+        self.request_timeout = request_timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
 
     @classmethod
-    def connect(cls, host: str, port: int, timeout: Optional[float] = 30.0) -> "Client":
-        """Open a socket client to a running ``repro serve`` process."""
+    def connect(
+        cls,
+        host: str,
+        port: int,
+        timeout: Optional[float] = 30.0,
+        **kwargs,
+    ) -> "Client":
+        """Open a socket client to a running ``repro serve`` process.
+
+        ``timeout`` bounds the connection attempt and doubles as the default
+        ``request_timeout`` unless one is passed explicitly.
+        """
         sock = socket.create_connection((host, port), timeout=timeout)
-        return cls(sock=sock)
+        kwargs.setdefault("request_timeout", timeout)
+        return cls(sock=sock, **kwargs)
 
     # ------------------------------------------------------------------ #
-    def request(self, payload: Dict) -> Dict:
-        """Send one raw protocol request and return the raw reply."""
+    def request(self, payload: Dict, *, timeout: Optional[float] = None) -> Dict:
+        """Send one raw protocol request and return the raw reply.
+
+        ``timeout`` overrides the client's ``request_timeout`` for this
+        request only.  A socket read that times out raises
+        :class:`ClientTimeoutError` and poisons the connection.
+        """
         if self._service is not None:
             return handle_request(self._service, payload)
-        self._sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
-        line = self._rfile.readline()
+        if self._broken:
+            raise ServiceError(
+                "connection is broken after a previous timeout; open a new client"
+            )
+        effective = timeout if timeout is not None else self.request_timeout
+        try:
+            self._sock.settimeout(effective)
+            self._sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
+            line = self._rfile.readline()
+        except socket.timeout as exc:
+            # A late reply would pair with the *next* request on this line
+            # protocol; refuse to reuse the connection.
+            self._broken = True
+            logger.warning("request timed out after %.2fs; marking client broken", effective)
+            raise ClientTimeoutError(
+                f"no reply within {effective:.2f}s (op={payload.get('op')!r}); "
+                "the connection can no longer be trusted — reconnect"
+            ) from exc
         if not line:
             raise ServiceError("server closed the connection")
         return json.loads(line)
 
-    def _checked(self, payload: Dict) -> Dict:
-        reply = self.request(payload)
-        if not reply.get("ok"):
-            raise ServiceError(
-                f"{reply.get('kind', 'error')}: {reply.get('error', 'request failed')}"
+    @staticmethod
+    def _error_from(reply: Dict) -> ServiceError:
+        """Rebuild the typed exception a ``{"ok": false}`` reply describes."""
+        kind = reply.get("kind", "error")
+        message = reply.get("error", "request failed")
+        if kind == "DeadlineExceededError":
+            return DeadlineExceededError(message)
+        if kind == "ServiceOverloadedError":
+            return ServiceOverloadedError(
+                message, retry_after=float(reply.get("retry_after", 1.0))
             )
-        return reply
+        if kind == "ServiceClosedError":
+            return ServiceClosedError(message)
+        return ServiceError(f"{kind}: {message}")
+
+    def _checked(
+        self, payload: Dict, *, timeout: Optional[float] = None, retryable: bool = True
+    ) -> Dict:
+        """Send a request; raise typed errors, retrying overload sheds.
+
+        Only overload sheds are retried — and only for idempotent requests
+        (``retryable=True``, everything except ``shutdown``): a shed request
+        was never admitted, so retrying cannot duplicate work.
+        """
+        attempt = 0
+        while True:
+            reply = self.request(payload, timeout=timeout)
+            if reply.get("ok"):
+                return reply
+            exc = self._error_from(reply)
+            if (
+                retryable
+                and isinstance(exc, ServiceOverloadedError)
+                and attempt < self.max_retries
+            ):
+                delay = min(self.backoff_cap, self.backoff_base * (2 ** attempt))
+                delay *= 0.5 + self._rng.random()  # jitter: 0.5x .. 1.5x
+                delay = max(delay, exc.retry_after)
+                logger.info(
+                    "overloaded (attempt %d/%d); retrying in %.2fs",
+                    attempt + 1, self.max_retries, delay,
+                )
+                self._sleep(delay)
+                attempt += 1
+                continue
+            raise exc
 
     # ------------------------------------------------------------------ #
     def ping(self) -> bool:
@@ -105,14 +237,32 @@ class Client:
         algorithm: str = "kDC",
         time_limit: Optional[float] = None,
         node_limit: Optional[int] = None,
+        deadline: Optional[float] = None,
+        timeout: Optional[float] = None,
     ) -> Dict:
-        """Solve one query; returns the full reply (size, clique, optimal, stats)."""
+        """Solve one query; returns the full reply (size, clique, optimal, stats).
+
+        ``deadline`` is the end-to-end request budget enforced by the
+        service (typed :class:`DeadlineExceededError` on expiry);
+        ``time_limit`` bounds only the solve phase and yields a partial
+        result instead.  The socket-read ``timeout`` is derived from
+        whichever budget is set (plus a grace) when not given explicitly,
+        so a budgeted solve never trips the client timeout first.
+        """
         payload: Dict = {"op": "solve", "digest": digest, "k": k, "algorithm": algorithm}
         if time_limit is not None:
             payload["time_limit"] = time_limit
         if node_limit is not None:
             payload["node_limit"] = node_limit
-        return self._checked(payload)
+        if deadline is not None:
+            payload["deadline"] = deadline
+        if timeout is None:
+            budget = deadline if deadline is not None else time_limit
+            if budget is not None:
+                timeout = budget + _READ_GRACE_SECONDS
+                if self.request_timeout is not None:
+                    timeout = max(timeout, self.request_timeout)
+        return self._checked(payload, timeout=timeout)
 
     def stats(self) -> Dict:
         """Service and store counters."""

@@ -12,7 +12,9 @@ work at three levels:
    queries for the same ``(digest, k, algorithm, backend, engine)`` key are
    served from the cache without re-entering the search engine (the answer
    carries ``stats.cache_hit = True``).  Budget-limited (non-optimal)
-   results are never cached;
+   results are never cached, and the cache is LRU-bounded
+   (``result_cache_size``) so a long-lived service cannot grow without
+   bound;
 3. **in-flight coalescing** — identical queries submitted while the first is
    still running attach to its computation instead of solving again.
 
@@ -21,25 +23,60 @@ of ``max_concurrency`` workers.  The branch-and-bound itself is pure Python
 (GIL-bound), so threads mostly interleave; true CPU parallelism comes from
 ``SolverConfig.workers >= 2``, which farms each solve's ego subproblems to a
 process pool — the two levels compose.
+
+Hardening
+---------
+Three mechanisms keep the service healthy under overload and failure:
+
+* **Deadlines.**  Every request may carry a ``deadline`` (seconds,
+  end-to-end; ``default_deadline`` supplies one when the client does not).
+  The deadline covers queue wait, artifact preparation and the solve: a
+  request still queued at expiry is cancelled by a watchdog thread without
+  ever entering the engine, the solve phase runs with its time budget
+  clamped to the remaining deadline, and a deadline miss resolves the
+  future with a typed
+  :class:`~repro.exceptions.DeadlineExceededError` instead of blocking.
+* **Admission control.**  ``max_pending`` bounds the submitted-but-not-yet-
+  executing queue; beyond it, submissions fast-fail with
+  :class:`~repro.exceptions.ServiceOverloadedError` carrying a
+  ``retry_after`` estimate derived from the backlog and an exponentially
+  weighted average solve time.  Cache hits and coalesced requests are
+  always admitted — they cost no engine work.
+* **Graceful drain.**  ``close(drain_timeout=...)`` stops admissions,
+  waits for in-flight work up to the timeout, then cancels: queued requests
+  fail with :class:`~repro.exceptions.ServiceClosedError`, running solves
+  are cooperatively interrupted (via the engine's per-node cancel poll) and
+  answer with their best-so-far partial result.  Every request is answered
+  or typed-failed; none is silently dropped.
 """
 
 from __future__ import annotations
 
 import copy
+import logging
 import threading
 import time
-from concurrent.futures import Future, ThreadPoolExecutor
+from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor, wait as futures_wait
 from dataclasses import replace
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from ..core.config import VARIANT_NAMES, SolverConfig, variant_config
 from ..core.result import SolveResult
 from ..core.solver import KDCSolver
-from ..exceptions import InvalidParameterError, ServiceClosedError
+from ..exceptions import (
+    DeadlineExceededError,
+    InvalidParameterError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
 from ..graphs.graph import Graph
+from ..testing import chaos as faults
 from .store import GraphStore
 
 __all__ = ["SolverService"]
+
+logger = logging.getLogger("repro.service.scheduler")
 
 #: Result-cache key: optimal sizes depend only on the instance and the
 #: algorithm, but node/time profiles (and hence *which* optimum is found)
@@ -47,10 +84,49 @@ __all__ = ["SolverService"]
 #: service answering mixed backend queries never conflates their results.
 _ResultKey = Tuple[str, int, str, str, str]
 
-#: In-flight coalescing key: budgets participate, because a tightly-budgeted
-#: query must not be answered by attaching to a generously-budgeted run
-#: (or vice versa) — only *identical* requests coalesce.
-_RequestKey = Tuple[str, int, str, Optional[float], Optional[int]]
+#: In-flight coalescing key: budgets (and the deadline) participate, because
+#: a tightly-budgeted query must not be answered by attaching to a
+#: generously-budgeted run (or vice versa) — only *identical* requests
+#: coalesce.
+_RequestKey = Tuple[str, int, str, Optional[float], Optional[int], Optional[float]]
+
+#: Fallback per-solve seconds estimate for ``retry_after`` before the EWMA
+#: has seen a completed solve.
+_DEFAULT_SOLVE_ESTIMATE_SECONDS = 0.2
+
+#: Smoothing factor of the solve-time EWMA behind ``retry_after``.
+_EWMA_ALPHA = 0.2
+
+#: Upper bound the watchdog sleeps between deadline scans even when no
+#: deadline is near — bounds how stale its view of a closing service can be.
+_WATCHDOG_MAX_WAIT_SECONDS = 0.5
+
+#: After a drain deadline expires and running solves are cooperatively
+#: cancelled, how long ``close`` still waits for them to notice (they poll
+#: the cancel event at every branch-and-bound node, so this is generous).
+_DRAIN_CANCEL_GRACE_SECONDS = 5.0
+
+
+class _Tracked:
+    """Book-keeping of one admitted request.
+
+    ``outer`` is the future handed to the caller; ``inner`` the executor's.
+    Decoupling them lets the deadline watchdog and the drain path cancel a
+    queued ``inner`` and resolve ``outer`` with a *typed* error instead of a
+    bare ``CancelledError``.  ``cancel_reason`` is set by whichever path
+    cancels, *before* calling ``inner.cancel()``, so the settle callback
+    (which runs synchronously inside ``cancel()``) can read it.
+    """
+
+    __slots__ = ("outer", "inner", "deadline_at", "cancel", "started", "cancel_reason")
+
+    def __init__(self, deadline_at: Optional[float]) -> None:
+        self.outer: "Future[SolveResult]" = Future()
+        self.inner: Optional[Future] = None
+        self.deadline_at = deadline_at
+        self.cancel = threading.Event()
+        self.started = False
+        self.cancel_reason: Optional[BaseException] = None
 
 
 class SolverService:
@@ -66,6 +142,16 @@ class SolverService:
         backend/engine/workers knobs on top of the variant's feature flags.
     max_concurrency:
         Upper bound on simultaneously executing solves (default 4).
+    max_pending:
+        Admission-control bound on the submitted-but-not-executing queue;
+        beyond it submissions raise :class:`ServiceOverloadedError`
+        (``None`` = unbounded, the default).
+    default_deadline:
+        End-to-end deadline (seconds) applied to every request that does
+        not carry its own (``None`` = no default).
+    result_cache_size:
+        LRU cap on the optimal-result cache (default 1024; ``None`` =
+        unbounded).
     """
 
     def __init__(
@@ -73,22 +159,43 @@ class SolverService:
         store: Optional[GraphStore] = None,
         config: Optional[SolverConfig] = None,
         max_concurrency: int = 4,
+        max_pending: Optional[int] = None,
+        default_deadline: Optional[float] = None,
+        result_cache_size: Optional[int] = 1024,
     ) -> None:
         if max_concurrency < 1:
             raise InvalidParameterError("max_concurrency must be a positive integer")
+        if max_pending is not None and max_pending < 1:
+            raise InvalidParameterError("max_pending must be a positive integer or None")
+        if default_deadline is not None and default_deadline <= 0:
+            raise InvalidParameterError("default_deadline must be positive or None")
+        if result_cache_size is not None and result_cache_size < 1:
+            raise InvalidParameterError("result_cache_size must be a positive integer or None")
         self.store = store if store is not None else GraphStore()
         self.config = config if config is not None else SolverConfig()
         self.max_concurrency = max_concurrency
+        self.max_pending = max_pending
+        self.default_deadline = default_deadline
+        self.result_cache_size = result_cache_size
         self._executor = ThreadPoolExecutor(
             max_workers=max_concurrency, thread_name_prefix="repro-solve"
         )
         self._lock = threading.Lock()
-        self._results: Dict[_ResultKey, SolveResult] = {}
-        self._inflight: Dict[_RequestKey, Future] = {}
+        self._deadline_cond = threading.Condition(self._lock)
+        self._results: "OrderedDict[_ResultKey, SolveResult]" = OrderedDict()
+        self._inflight: Dict[_RequestKey, "Future[SolveResult]"] = {}
+        self._tracked: Set[_Tracked] = set()
+        self._watchdog: Optional[threading.Thread] = None
         self._requests = 0
         self._solves = 0
         self._cache_hits = 0
         self._coalesced = 0
+        self._queued = 0
+        self._shed = 0
+        self._deadline_expired = 0
+        self._drain_cancelled = 0
+        self._result_evictions = 0
+        self._ewma_solve_seconds = 0.0
         self._closed = False
 
     # ------------------------------------------------------------------ #
@@ -133,14 +240,31 @@ class SolverService:
         algorithm: str = "kDC",
         time_limit: Optional[float] = None,
         node_limit: Optional[int] = None,
+        deadline: Optional[float] = None,
     ) -> "Future[SolveResult]":
         """Enqueue a solve query; returns a future resolving to its result.
+
+        Parameters beyond the query itself:
+
+        deadline:
+            End-to-end budget in seconds for this request (queue wait +
+            prepare + solve).  Defaults to the service's
+            ``default_deadline``.  On expiry the future fails with
+            :class:`DeadlineExceededError` — a request still queued is
+            cancelled without entering the engine; a running solve is
+            clamped to the remaining time.  Contrast ``time_limit``, which
+            bounds only the solve phase and yields a partial
+            (``optimal=False``) result rather than an error.
 
         Raises
         ------
         UnknownGraphError
             Immediately (not through the future) when ``digest`` is not in
             the store.
+        ServiceOverloadedError
+            Immediately, when admission control sheds the request because
+            the pending queue is at ``max_pending``.  Carries
+            ``retry_after``.
         ServiceClosedError
             When the service has been closed — including a submit racing a
             concurrent :meth:`close` (the closed check and the executor
@@ -150,7 +274,12 @@ class SolverService:
         """
         self.store.get(digest)  # fail fast on unknown digests
         self._solver_for(algorithm)  # fail fast on unknown algorithms
-        request_key: _RequestKey = (digest, k, algorithm, time_limit, node_limit)
+        if deadline is None:
+            deadline = self.default_deadline
+        if deadline is not None and deadline <= 0:
+            raise InvalidParameterError("deadline must be positive")
+        deadline_at = time.monotonic() + deadline if deadline is not None else None
+        request_key: _RequestKey = (digest, k, algorithm, time_limit, node_limit, deadline)
         submitted = time.perf_counter()
         with self._lock:
             if self._closed:
@@ -158,6 +287,7 @@ class SolverService:
             self._requests += 1
             cached = self._results.get(self._result_key(digest, k, algorithm))
             if cached is not None:
+                self._results.move_to_end(self._result_key(digest, k, algorithm))
                 self._cache_hits += 1
                 done: "Future[SolveResult]" = Future()
                 done.set_result(self._cache_hit_copy(cached))
@@ -166,15 +296,32 @@ class SolverService:
             if running is not None:
                 self._coalesced += 1
                 return self._follow(running)
+            if self.max_pending is not None and self._queued >= self.max_pending:
+                self._shed += 1
+                retry_after = self._retry_after_locked()
+                logger.warning(
+                    "shedding request (digest=%s k=%d queue_depth=%d retry_after=%.2fs)",
+                    digest[:12], k, self._queued, retry_after,
+                )
+                raise ServiceOverloadedError(
+                    retry_after=retry_after, queue_depth=self._queued
+                )
+            entry = _Tracked(deadline_at)
             try:
-                future = self._executor.submit(
-                    self._run, digest, k, algorithm, time_limit, node_limit, submitted
+                entry.inner = self._executor.submit(
+                    self._run, entry, digest, k, algorithm,
+                    time_limit, node_limit, deadline_at, deadline, submitted,
                 )
             except RuntimeError as exc:  # executor shut down out-of-band
                 raise ServiceClosedError() from exc
-            self._inflight[request_key] = future
-        future.add_done_callback(lambda _f: self._forget(request_key))
-        return future
+            self._queued += 1
+            self._tracked.add(entry)
+            self._inflight[request_key] = entry.outer
+            if deadline_at is not None:
+                self._ensure_watchdog_locked()
+                self._deadline_cond.notify_all()
+        entry.inner.add_done_callback(lambda inner: self._settle(entry, request_key, inner))
+        return entry.outer
 
     def solve(
         self,
@@ -184,6 +331,7 @@ class SolverService:
         algorithm: str = "kDC",
         time_limit: Optional[float] = None,
         node_limit: Optional[int] = None,
+        deadline: Optional[float] = None,
     ) -> SolveResult:
         """Synchronous convenience: submit one query and wait for its answer.
 
@@ -195,15 +343,92 @@ class SolverService:
         else:
             digest = graph_or_digest
         return self.submit(
-            digest, k, algorithm=algorithm, time_limit=time_limit, node_limit=node_limit
+            digest, k, algorithm=algorithm, time_limit=time_limit,
+            node_limit=node_limit, deadline=deadline,
         ).result()
+
+    # ------------------------------------------------------------------ #
+    # Admission control internals
+    # ------------------------------------------------------------------ #
+    def _retry_after_locked(self) -> float:
+        """Estimate (seconds) until capacity frees up, from backlog x EWMA solve time."""
+        estimate = self._ewma_solve_seconds or _DEFAULT_SOLVE_ESTIMATE_SECONDS
+        backlog = max(1, len(self._tracked))
+        return min(30.0, max(0.05, backlog * estimate / self.max_concurrency))
+
+    # ------------------------------------------------------------------ #
+    # Deadline watchdog
+    # ------------------------------------------------------------------ #
+    def _ensure_watchdog_locked(self) -> None:
+        if self._watchdog is None:
+            self._watchdog = threading.Thread(
+                target=self._watchdog_loop, name="repro-deadline", daemon=True
+            )
+            self._watchdog.start()
+
+    def _watchdog_loop(self) -> None:
+        """Cancel queued requests whose deadline expired, with a typed error.
+
+        Only *queued* (not yet started) requests are the watchdog's job —
+        a running solve already has its time budget clamped to the deadline
+        and resolves itself.  Cancellation happens outside the lock because
+        ``Future.cancel`` runs the settle callback synchronously.
+        """
+        while True:
+            with self._lock:
+                if self._closed and not self._tracked:
+                    return
+                now = time.monotonic()
+                expired: List[_Tracked] = []
+                next_deadline: Optional[float] = None
+                for entry in self._tracked:
+                    if entry.deadline_at is None or entry.started:
+                        continue
+                    if entry.deadline_at <= now:
+                        expired.append(entry)
+                        entry.deadline_at = None  # handled; never re-scanned
+                    elif next_deadline is None or entry.deadline_at < next_deadline:
+                        next_deadline = entry.deadline_at
+                if not expired:
+                    timeout = _WATCHDOG_MAX_WAIT_SECONDS
+                    if next_deadline is not None:
+                        timeout = min(timeout, max(0.0, next_deadline - now))
+                    self._deadline_cond.wait(timeout)
+                    continue
+            for entry in expired:
+                entry.cancel_reason = DeadlineExceededError(
+                    "deadline expired while the request was queued; cancelled before execution"
+                )
+                # cancel() fails iff the run started in the meantime — then
+                # the run's own deadline checks take over.
+                entry.inner.cancel()
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
-    def _forget(self, request_key: _RequestKey) -> None:
+    def _settle(self, entry: _Tracked, request_key: _RequestKey, inner: Future) -> None:
+        """Inner-future completion: book-keeping, then resolve the outer future."""
         with self._lock:
-            self._inflight.pop(request_key, None)
+            self._tracked.discard(entry)
+            if self._inflight.get(request_key) is entry.outer:
+                del self._inflight[request_key]
+            if not entry.started:
+                self._queued -= 1
+        if inner.cancelled():
+            exc: Optional[BaseException] = entry.cancel_reason or ServiceClosedError(
+                "request cancelled"
+            )
+        else:
+            exc = inner.exception()
+        if exc is not None:
+            if isinstance(exc, DeadlineExceededError):
+                with self._lock:
+                    self._deadline_expired += 1
+                logger.info("request failed deadline (digest=%s k=%s): %s",
+                            request_key[0][:12], request_key[1], exc)
+            entry.outer.set_exception(exc)
+        else:
+            entry.outer.set_result(inner.result())
 
     def _follow(self, running: "Future[SolveResult]") -> "Future[SolveResult]":
         """Attach a coalesced request to an in-flight computation.
@@ -225,31 +450,79 @@ class SolverService:
 
     def _run(
         self,
+        entry: _Tracked,
         digest: str,
         k: int,
         algorithm: str,
         time_limit: Optional[float],
         node_limit: Optional[int],
+        deadline_at: Optional[float],
+        deadline: Optional[float],
         submitted: float,
     ) -> SolveResult:
+        with self._lock:
+            entry.started = True
+            self._queued -= 1
         started = time.perf_counter()
+        if deadline_at is not None and time.monotonic() >= deadline_at:
+            # The watchdog lost the race to cancel us; same typed outcome.
+            raise DeadlineExceededError(
+                "deadline expired while the request was queued; cancelled before execution"
+            )
         solver = self._solver_for(algorithm)
         prepared = self.store.prepared(digest, k, solver.config)
         prepare_ms = (time.perf_counter() - started) * 1000.0
+
+        effective_limit = time_limit
+        deadline_bound = False
+        if deadline_at is not None:
+            remaining = deadline_at - time.monotonic()
+            if remaining <= 0:
+                raise DeadlineExceededError(
+                    f"deadline of {deadline:.3f}s expired during preparation"
+                )
+            if effective_limit is None or remaining < effective_limit:
+                effective_limit = remaining
+                deadline_bound = True
+        faults.fire("scheduler.solve", digest=digest, k=k)
         result = solver.solve_prepared(
-            prepared, k, time_limit=time_limit, node_limit=node_limit
+            prepared, k,
+            time_limit=effective_limit, node_limit=node_limit, cancel=entry.cancel,
         )
+        if not result.optimal and not entry.cancel.is_set():
+            # A drain-cancelled solve answers with its partial result; a
+            # deadline-clamped one reports the miss as a typed error.  A miss
+            # of the caller's own time/node budget keeps the partial-result
+            # contract it always had.
+            node_budget_hit = node_limit is not None and result.stats.nodes >= node_limit
+            if deadline_bound and not node_budget_hit:
+                raise DeadlineExceededError(
+                    f"deadline of {deadline:.3f}s exceeded during solve "
+                    f"(best size so far: {result.size})"
+                )
         result.stats.queue_ms = (started - submitted) * 1000.0
         result.stats.prepare_ms = prepare_ms
         with self._lock:
             self._solves += 1
-            if result.optimal:
-                # Cache a private copy, never the object handed to the
-                # caller: a caller mutating its answer (clique list, stats)
-                # must not corrupt every later cache hit.
-                self._results.setdefault(
-                    self._result_key(digest, k, algorithm), self._copy_result(result)
+            solve_seconds = time.perf_counter() - started
+            if self._ewma_solve_seconds:
+                self._ewma_solve_seconds += _EWMA_ALPHA * (
+                    solve_seconds - self._ewma_solve_seconds
                 )
+            else:
+                self._ewma_solve_seconds = solve_seconds
+            if result.optimal:
+                key = self._result_key(digest, k, algorithm)
+                if key not in self._results:
+                    # Cache a private copy, never the object handed to the
+                    # caller: a caller mutating its answer (clique list,
+                    # stats) must not corrupt every later cache hit.
+                    self._results[key] = self._copy_result(result)
+                self._results.move_to_end(key)
+                if self.result_cache_size is not None:
+                    while len(self._results) > self.result_cache_size:
+                        self._results.popitem(last=False)
+                        self._result_evictions += 1
         return result
 
     @staticmethod
@@ -300,21 +573,62 @@ class SolverService:
                 "cache_hits": self._cache_hits,
                 "coalesced": self._coalesced,
                 "max_concurrency": self.max_concurrency,
+                "queue_depth": self._queued,
+                "inflight": len(self._tracked),
+                "shed": self._shed,
+                "deadline_expired": self._deadline_expired,
+                "drain_cancelled": self._drain_cancelled,
+                "result_cache_entries": len(self._results),
+                "result_cache_evictions": self._result_evictions,
             }
         data.update(self.store.stats())
         return data
 
-    def close(self) -> None:
-        """Finish in-flight work and shut the worker pool down.
+    def close(self, drain_timeout: Optional[float] = None) -> None:
+        """Stop admissions, drain in-flight work, then shut the pool down.
 
         The closed flag is flipped under the submission lock: any submit
         holding the lock finishes its executor hand-off first, and every
         later submit sees the flag and raises
         :class:`~repro.exceptions.ServiceClosedError`.
+
+        Parameters
+        ----------
+        drain_timeout:
+            ``None`` (default) waits for every in-flight request to finish,
+            as before.  A number bounds the drain: after ``drain_timeout``
+            seconds, still-queued requests are cancelled with
+            :class:`ServiceClosedError` and running solves are cooperatively
+            interrupted — they answer promptly with their best-so-far
+            partial result (``optimal=False``).
         """
         with self._lock:
             self._closed = True
-        self._executor.shutdown(wait=True)
+            tracked = list(self._tracked)
+            self._deadline_cond.notify_all()
+        if drain_timeout is None:
+            self._executor.shutdown(wait=True)
+            return
+        pending = [entry.outer for entry in tracked]
+        if pending:
+            logger.info("draining %d in-flight request(s) for up to %.2fs",
+                        len(pending), drain_timeout)
+            futures_wait(pending, timeout=drain_timeout)
+        leftovers = [entry for entry in tracked if not entry.outer.done()]
+        for entry in leftovers:
+            entry.cancel_reason = ServiceClosedError(
+                "service drain deadline expired; request cancelled"
+            )
+            if not entry.inner.cancel():
+                # Already running: cooperative cancel via the engine's
+                # per-node poll; it returns a partial result promptly.
+                entry.cancel.set()
+        if leftovers:
+            with self._lock:
+                self._drain_cancelled += len(leftovers)
+            logger.warning("drain deadline expired: cancelled %d request(s)", len(leftovers))
+            futures_wait([e.outer for e in leftovers], timeout=_DRAIN_CANCEL_GRACE_SECONDS)
+        self._executor.shutdown(wait=False)
 
     def __enter__(self) -> "SolverService":
         return self

@@ -10,44 +10,74 @@ dictionaries with an ``"op"`` field:
 ``{"op": "add-graph", "edges": [[u, v], ...], "vertices": [...], "name": ...}``
     Register a graph; answers its content ``digest``.  ``vertices`` (for
     isolated vertices) and ``name`` are optional.
-``{"op": "solve", "digest": ..., "k": ..., "algorithm": ..., "time_limit": ..., "node_limit": ...}``
+``{"op": "solve", "digest": ..., "k": ..., "algorithm": ..., "time_limit": ..., "node_limit": ..., "deadline": ...}``
     Solve one query; answers the clique, size, optimality flag and the full
     request-level statistics (``cache_hit``, ``prepare_ms``, ``queue_ms``,
-    ``solve_ms``, ...).
+    ``solve_ms``, ...).  ``deadline`` (seconds, end-to-end) bounds queue
+    wait + prepare + solve; missing it answers ``{"ok": false, "kind":
+    "DeadlineExceededError"}``.
 ``{"op": "stats"}``
     Service counters.
 ``{"op": "shutdown"}``
     Acknowledge, then stop the server.
 
 Every reply carries ``"ok"``; failures answer ``{"ok": false, "error":
-<message>, "kind": <exception class>}`` and keep the connection (and the
-server) alive.  The same :func:`handle_request` dispatch backs the
-in-process :class:`~repro.service.client.Client`, so tests exercise exactly
-the code path the socket serves.
+<message>, "kind": <exception class>}`` — plus ``"retry_after"`` on
+overload sheds — and keep the connection (and the server) alive.  The same
+:func:`handle_request` dispatch backs the in-process
+:class:`~repro.service.client.Client`, so tests exercise exactly the code
+path the socket serves.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import socketserver
 import threading
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Dict, Optional, Tuple
 
 from ..core.config import SolverConfig
-from ..exceptions import ReproError
+from ..exceptions import DeadlineExceededError, ReproError
 from ..graphs.graph import Graph
+from ..testing import chaos as faults
 from .scheduler import SolverService
 
 __all__ = ["ServiceServer", "handle_request", "run_server"]
+
+logger = logging.getLogger("repro.service.server")
+
+#: Extra seconds a reply waits past the request's own deadline before the
+#: server gives up on the future — covers scheduling noise only, since the
+#: scheduler resolves deadline misses itself.
+_DEADLINE_REPLY_GRACE_SECONDS = 5.0
+
+#: Extra seconds a reply waits past a plain ``time_limit`` budget.  Generous,
+#: because a time-limited solve still pays unbounded queue wait and prepare
+#: time — but no longer *infinite*: a wedged worker thread answers the
+#: client with a typed error instead of hanging the connection forever.
+_BUDGET_REPLY_GRACE_SECONDS = 30.0
+
+
+def _reply_timeout(
+    deadline: Optional[float], time_limit: Optional[float]
+) -> Optional[float]:
+    """How long the dispatcher waits on a solve future before typed-failing."""
+    if deadline is not None:
+        return float(deadline) + _DEADLINE_REPLY_GRACE_SECONDS
+    if time_limit is not None:
+        return float(time_limit) + _BUDGET_REPLY_GRACE_SECONDS
+    return None
 
 
 def handle_request(service: SolverService, payload: Dict) -> Dict:
     """Dispatch one protocol request against ``service`` and return the reply.
 
-    Never raises for malformed or failing requests — library errors come
-    back as ``{"ok": False, ...}`` replies so one bad query cannot take a
-    shared server down.  (Only genuinely unexpected internal errors
-    propagate.)
+    Never raises: library errors *and* unexpected internal errors come back
+    as ``{"ok": False, "kind": <class>, ...}`` replies, so one bad query —
+    or one crashing solve — cannot take a shared server (or its connection
+    handler) down.
     """
     try:
         if not isinstance(payload, dict):
@@ -70,13 +100,30 @@ def handle_request(service: SolverService, payload: Dict) -> Dict:
         if op == "solve":
             if "digest" not in payload or "k" not in payload:
                 raise ReproError("solve requires 'digest' and 'k'")
-            result = service.submit(
+            deadline = payload.get("deadline")
+            time_limit = payload.get("time_limit")
+            future = service.submit(
                 payload["digest"],
                 payload["k"],
                 algorithm=payload.get("algorithm", "kDC"),
-                time_limit=payload.get("time_limit"),
+                time_limit=time_limit,
                 node_limit=payload.get("node_limit"),
-            ).result()
+                deadline=deadline,
+            )
+            effective_deadline = (
+                deadline if deadline is not None else service.default_deadline
+            )
+            try:
+                result = future.result(
+                    timeout=_reply_timeout(effective_deadline, time_limit)
+                )
+            except FutureTimeoutError as exc:
+                # The scheduler should have resolved this future itself; a
+                # wait timeout here means a wedged worker.  Fail typed —
+                # never leave the connection hanging on .result().
+                raise DeadlineExceededError(
+                    "the service did not answer within the request budget"
+                ) from exc
             return {
                 "ok": True,
                 "size": result.size,
@@ -90,6 +137,13 @@ def handle_request(service: SolverService, payload: Dict) -> Dict:
             return {"ok": True, "stats": service.stats()}
         raise ReproError(f"unknown op {op!r}")
     except (ReproError, TypeError, ValueError, KeyError) as exc:
+        reply = {"ok": False, "error": str(exc), "kind": type(exc).__name__}
+        retry_after = getattr(exc, "retry_after", None)
+        if retry_after is not None:
+            reply["retry_after"] = retry_after
+        return reply
+    except Exception as exc:  # noqa: BLE001 - the server must always answer
+        logger.exception("internal error handling %r", payload.get("op") if isinstance(payload, dict) else payload)
         return {"ok": False, "error": str(exc), "kind": type(exc).__name__}
 
 
@@ -98,27 +152,44 @@ class _LineHandler(socketserver.StreamRequestHandler):
 
     def handle(self) -> None:
         server: "ServiceServer" = self.server  # type: ignore[assignment]
-        for raw in self.rfile:
-            line = raw.strip()
-            if not line:
-                continue
-            try:
-                payload = json.loads(line)
-            except json.JSONDecodeError as exc:
-                reply = {"ok": False, "error": f"bad JSON: {exc}", "kind": "JSONDecodeError"}
-            else:
-                if isinstance(payload, dict) and payload.get("op") == "shutdown":
-                    self._reply({"ok": True, "shutting_down": True})
-                    # shutdown() joins the serve loop, which waits for this
-                    # handler — stop from a helper thread to avoid deadlock.
-                    threading.Thread(target=server.shutdown, daemon=True).start()
+        try:
+            for raw in self.rfile:
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    reply = {"ok": False, "error": f"bad JSON: {exc}", "kind": "JSONDecodeError"}
+                else:
+                    if isinstance(payload, dict) and payload.get("op") == "shutdown":
+                        self._reply({"ok": True, "shutting_down": True})
+                        # shutdown() joins the serve loop, which waits for this
+                        # handler — stop from a helper thread to avoid deadlock.
+                        threading.Thread(target=server.shutdown, daemon=True).start()
+                        return
+                    reply = handle_request(server.service, payload)
+                if not self._reply(reply):
                     return
-                reply = handle_request(server.service, payload)
-            self._reply(reply)
+        except (ConnectionResetError, BrokenPipeError, OSError) as exc:
+            # A client vanishing mid-read is its problem, not the server's.
+            logger.debug("connection dropped while reading: %s", exc)
 
-    def _reply(self, reply: Dict) -> None:
-        self.wfile.write(json.dumps(reply).encode("utf-8") + b"\n")
-        self.wfile.flush()
+    def _reply(self, reply: Dict) -> bool:
+        """Write one reply line; returns ``False`` when the client is gone.
+
+        A client that disconnected between request and reply must cost the
+        server nothing but this connection — the handler closes quietly
+        instead of unwinding through ``socketserver`` with a stack trace.
+        """
+        try:
+            faults.fire("server.reply", op=reply.get("ok"))
+            self.wfile.write(json.dumps(reply).encode("utf-8") + b"\n")
+            self.wfile.flush()
+            return True
+        except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+            logger.debug("client disconnected before reply could be sent: %s", exc)
+            return False
 
 
 class ServiceServer(socketserver.ThreadingTCPServer):
@@ -126,6 +197,12 @@ class ServiceServer(socketserver.ThreadingTCPServer):
 
     Binding to port 0 picks an ephemeral port; read it back from
     :attr:`address` (the CLI prints it on startup for exactly this reason).
+
+    The hardening knobs (``default_deadline``, ``max_pending``) configure
+    the service the server builds when none is passed in;
+    ``drain_timeout`` bounds how long :meth:`server_close` waits for
+    in-flight solves before cancelling them (``None`` = wait forever, the
+    historical behaviour).
     """
 
     daemon_threads = True
@@ -138,10 +215,17 @@ class ServiceServer(socketserver.ThreadingTCPServer):
         service: Optional[SolverService] = None,
         config: Optional[SolverConfig] = None,
         max_concurrency: int = 4,
+        default_deadline: Optional[float] = None,
+        max_pending: Optional[int] = None,
+        drain_timeout: Optional[float] = None,
     ) -> None:
         self.service = service if service is not None else SolverService(
-            config=config, max_concurrency=max_concurrency
+            config=config,
+            max_concurrency=max_concurrency,
+            default_deadline=default_deadline,
+            max_pending=max_pending,
         )
+        self.drain_timeout = drain_timeout
         super().__init__((host, port), _LineHandler)
 
     @property
@@ -149,9 +233,12 @@ class ServiceServer(socketserver.ThreadingTCPServer):
         """The bound ``(host, port)`` — the actual port even when 0 was requested."""
         return self.server_address[0], self.server_address[1]
 
+    def handle_error(self, request, client_address) -> None:  # pragma: no cover
+        logger.exception("unhandled error serving %s", client_address)
+
     def server_close(self) -> None:
         super().server_close()
-        self.service.close()
+        self.service.close(drain_timeout=self.drain_timeout)
 
 
 def run_server(server: ServiceServer) -> None:
@@ -162,7 +249,9 @@ def run_server(server: ServiceServer) -> None:
     """
     host, port = server.address
     print(f"repro-serve listening on {host}:{port}", flush=True)
+    logger.info("serving on %s:%d", host, port)
     try:
         server.serve_forever(poll_interval=0.1)
     finally:
+        logger.info("shutting down (drain_timeout=%s)", server.drain_timeout)
         server.server_close()

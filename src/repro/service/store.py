@@ -7,18 +7,26 @@ combination is prepared at most once, no matter how many concurrent requests
 ask for it.  Single-flight deduplication hands every concurrent requester the
 same in-progress :class:`~concurrent.futures.Future` instead of preparing the
 artifact twice.
+
+Both caches are optionally bounded: ``max_graphs`` / ``max_prepared`` turn
+them into LRU caches, so a long-lived service under an endless stream of
+novel graphs degrades to evictions (counted in :meth:`stats`) instead of
+growing without bound.  Evicting a graph also drops its prepared artifacts —
+they are unreachable once :meth:`get` no longer resolves the digest.
 """
 
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from concurrent.futures import Future
 from typing import Dict, Optional, Tuple
 
 from ..core.config import SolverConfig
 from ..core.prepared import PreparedInstance, prepare_instance
-from ..exceptions import UnknownGraphError
+from ..exceptions import InvalidParameterError, UnknownGraphError
 from ..graphs.graph import Graph
+from ..testing import chaos as faults
 
 __all__ = ["GraphStore"]
 
@@ -34,16 +42,33 @@ class GraphStore:
     All methods may be called concurrently; preparation of distinct slots
     proceeds in parallel while requests for the *same* slot block on one
     shared computation (single-flight).
+
+    Parameters
+    ----------
+    max_graphs:
+        LRU cap on stored graphs (``None`` = unbounded, the default).
+    max_prepared:
+        LRU cap on cached prepared artifacts (``None`` = unbounded).
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self, max_graphs: Optional[int] = None, max_prepared: Optional[int] = None
+    ) -> None:
+        if max_graphs is not None and max_graphs < 1:
+            raise InvalidParameterError("max_graphs must be a positive integer or None")
+        if max_prepared is not None and max_prepared < 1:
+            raise InvalidParameterError("max_prepared must be a positive integer or None")
+        self.max_graphs = max_graphs
+        self.max_prepared = max_prepared
         self._lock = threading.Lock()
-        self._graphs: Dict[str, Graph] = {}
+        self._graphs: "OrderedDict[str, Graph]" = OrderedDict()
         self._names: Dict[str, str] = {}
-        self._prepared: Dict[_PreparedKey, PreparedInstance] = {}
+        self._prepared: "OrderedDict[_PreparedKey, PreparedInstance]" = OrderedDict()
         self._inflight: Dict[_PreparedKey, Future] = {}
         self._prepares = 0
         self._prepared_hits = 0
+        self._graph_evictions = 0
+        self._prepared_evictions = 0
 
     # ------------------------------------------------------------------ #
     # Graphs
@@ -53,20 +78,39 @@ class GraphStore:
 
         Adding a graph whose digest is already present is a cheap no-op that
         returns the existing digest; ``name`` is a human-readable label kept
-        for listings only.
+        for listings only.  With ``max_graphs`` set, inserting beyond the cap
+        evicts the least-recently-used graph (and its prepared artifacts).
         """
         digest = graph.content_digest()
         with self._lock:
             if digest not in self._graphs:
                 self._graphs[digest] = graph.copy()
+                self._evict_graphs_locked()
+            else:
+                self._graphs.move_to_end(digest)
             if name is not None:
                 self._names[digest] = name
         return digest
+
+    def _evict_graphs_locked(self) -> None:
+        if self.max_graphs is None:
+            return
+        while len(self._graphs) > self.max_graphs:
+            evicted, _ = self._graphs.popitem(last=False)
+            self._names.pop(evicted, None)
+            self._graph_evictions += 1
+            # Prepared artifacts of an evicted graph are unreachable through
+            # the public surface (get() fails first); free them too.
+            for key in [k for k in self._prepared if k[0] == evicted]:
+                del self._prepared[key]
+                self._prepared_evictions += 1
 
     def get(self, digest: str) -> Graph:
         """Return the stored graph for ``digest`` (the store's own copy; do not mutate)."""
         with self._lock:
             graph = self._graphs.get(digest)
+            if graph is not None:
+                self._graphs.move_to_end(digest)
         if graph is None:
             raise UnknownGraphError(digest)
         return graph
@@ -108,6 +152,7 @@ class GraphStore:
             artifact = self._prepared.get(key)
             if artifact is not None:
                 self._prepared_hits += 1
+                self._prepared.move_to_end(key)
                 return artifact
             inflight = self._inflight.get(key)
             if inflight is None:
@@ -122,6 +167,7 @@ class GraphStore:
         if not owner:
             return inflight.result()
         try:
+            faults.fire("store.prepare", digest=digest, k=k)
             artifact = prepare_instance(graph, k, config)
         except BaseException as exc:
             with self._lock:
@@ -132,15 +178,22 @@ class GraphStore:
             self._prepared[key] = artifact
             self._prepares += 1
             del self._inflight[key]
+            if self.max_prepared is not None:
+                while len(self._prepared) > self.max_prepared:
+                    self._prepared.popitem(last=False)
+                    self._prepared_evictions += 1
         inflight.set_result(artifact)
         return artifact
 
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict[str, int]:
-        """Counters: stored graphs, artifacts built, artifact cache hits."""
+        """Counters: stored graphs/artifacts, builds, cache hits, evictions."""
         with self._lock:
             return {
                 "graphs": len(self._graphs),
                 "prepares": self._prepares,
                 "prepared_hits": self._prepared_hits,
+                "prepared_artifacts": len(self._prepared),
+                "graph_evictions": self._graph_evictions,
+                "prepared_evictions": self._prepared_evictions,
             }

@@ -1,0 +1,11 @@
+"""Test-support utilities shipped with the library.
+
+:mod:`repro.testing.chaos` is the deterministic fault-injection harness the
+service's chaos suite is built on.  This package is import-light on purpose:
+production modules reference its fault points, so it must not pull in any
+heavier part of the library.
+"""
+
+from .chaos import FaultInjector, InjectedFaultError
+
+__all__ = ["FaultInjector", "InjectedFaultError"]

@@ -1,0 +1,259 @@
+"""Deterministic fault injection for the solver service (chaos testing).
+
+Production code is sprinkled with cheap, named *fault points*::
+
+    faults.fire("store.prepare", digest=digest, k=k)
+
+When no injector is installed (the normal case) ``fire`` is a single global
+read and an immediate return.  Tests install a :class:`FaultInjector` whose
+rules match points (optionally filtered on the call's context) and execute a
+named action a bounded number of times:
+
+``delay=seconds``
+    Sleep before proceeding — a slow prepare, a slow solve.
+``error=exc``
+    Raise an exception (an instance, or a string wrapped in
+    :class:`InjectedFaultError`) — a crashing worker thread.
+``disconnect=True``
+    Raise :class:`ConnectionResetError` — a socket dropped mid-reply.
+``kill=True``
+    ``SIGKILL`` the *current process* — a pool worker dying abruptly.
+    Only ever use this matched to a worker-side fault point.
+``phantom=N``
+    Inflate the shared best-size cell in the context by ``N`` and then
+    ``SIGKILL`` the process — a worker that published a bound whose witness
+    solution died with it (exercises the phantom-bound audit of
+    :mod:`repro.core.parallel`).
+
+Rules fire deterministically: ``times`` bounds how often a rule triggers and
+``match`` pins it to specific context values (e.g. one batch index), so a
+chaos test can script an exact failure sequence instead of rolling dice.
+
+Worker processes
+----------------
+:meth:`FaultInjector.install` also serialises the env-safe rules into the
+``REPRO_FAULTS`` environment variable.  Pool workers created while it is set
+load the rules on their first ``fire`` call — under the default ``fork``
+start method they additionally inherit the module global directly.  Fire
+counts in a worker are per-process; pin worker-side rules with ``match``
+(e.g. ``match={"index": 0}``) to keep multi-worker runs deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["FaultInjector", "InjectedFaultError", "fire", "install", "uninstall"]
+
+#: Environment variable carrying the env-safe rule specs to worker processes.
+ENV_VAR = "REPRO_FAULTS"
+
+_active: Optional["FaultInjector"] = None
+#: Guards installation; ``fire`` itself reads ``_active`` without the lock
+#: (a stale ``None`` read during racy installation only skips a fault).
+_install_lock = threading.Lock()
+#: Worker-side sentinel: the env var has been checked once in this process.
+_env_checked = False
+
+
+class InjectedFaultError(RuntimeError):
+    """The exception raised by string-valued ``error=`` fault rules.
+
+    Deliberately *not* a :class:`~repro.exceptions.ReproError`: an injected
+    crash must exercise the service's handling of unexpected internal
+    errors, not the typed-error fast path.
+    """
+
+
+class _Rule:
+    """One fault rule: a point, an action, a match filter and a fire budget."""
+
+    __slots__ = ("point", "action", "value", "match", "remaining")
+
+    def __init__(
+        self,
+        point: str,
+        action: str,
+        value: Any,
+        match: Optional[Dict[str, Any]],
+        times: Optional[int],
+    ) -> None:
+        self.point = point
+        self.action = action
+        self.value = value
+        self.match = match or {}
+        self.remaining = times  # None = unlimited
+
+    def matches(self, point: str, ctx: Dict[str, Any]) -> bool:
+        if point != self.point or self.remaining == 0:
+            return False
+        return all(key in ctx and ctx[key] == want for key, want in self.match.items())
+
+    def to_spec(self) -> Optional[Dict[str, Any]]:
+        """The JSON-safe spec shipped to worker processes (``None`` if not serialisable)."""
+        value = self.value
+        if self.action == "error":
+            if not isinstance(value, str):
+                if isinstance(value, BaseException):
+                    value = str(value)
+                else:
+                    return None
+        return {
+            "point": self.point,
+            "action": self.action,
+            "value": value,
+            "match": self.match,
+            "times": self.remaining,
+        }
+
+
+class FaultInjector:
+    """A scripted set of fault rules, installable as the process-wide injector."""
+
+    def __init__(self) -> None:
+        self._rules: List[_Rule] = []
+        self._lock = threading.Lock()
+        #: ``(point, ctx-subset)`` log of every fault that fired in this
+        #: process — chaos tests assert the script actually ran.
+        self.fired: List[Tuple[str, Dict[str, Any]]] = []
+
+    # ------------------------------------------------------------------ #
+    def add(
+        self,
+        point: str,
+        *,
+        delay: Optional[float] = None,
+        error: Optional[object] = None,
+        disconnect: bool = False,
+        kill: bool = False,
+        phantom: Optional[int] = None,
+        times: Optional[int] = 1,
+        match: Optional[Dict[str, Any]] = None,
+    ) -> "FaultInjector":
+        """Register one rule (exactly one action); returns ``self`` for chaining."""
+        actions = [
+            ("delay", delay),
+            ("error", error),
+            ("disconnect", disconnect or None),
+            ("kill", kill or None),
+            ("phantom", phantom),
+        ]
+        chosen = [(name, value) for name, value in actions if value is not None]
+        if len(chosen) != 1:
+            raise ValueError("pass exactly one of delay=, error=, disconnect=, kill=, phantom=")
+        action, value = chosen[0]
+        self._rules.append(_Rule(point, action, value, match, times))
+        return self
+
+    # ------------------------------------------------------------------ #
+    def install(self) -> "FaultInjector":
+        """Make this injector the process-wide one (and export it to workers)."""
+        global _active
+        with _install_lock:
+            _active = self
+            specs = [s for s in (r.to_spec() for r in self._rules) if s is not None]
+            os.environ[ENV_VAR] = json.dumps(specs)
+        return self
+
+    def uninstall(self) -> None:
+        global _active
+        with _install_lock:
+            if _active is self:
+                _active = None
+            os.environ.pop(ENV_VAR, None)
+
+    def __enter__(self) -> "FaultInjector":
+        return self.install()
+
+    def __exit__(self, *_exc) -> None:
+        self.uninstall()
+
+    # ------------------------------------------------------------------ #
+    def _fire(self, point: str, ctx: Dict[str, Any]) -> None:
+        for rule in self._rules:
+            with self._lock:
+                if not rule.matches(point, ctx):
+                    continue
+                if rule.remaining is not None:
+                    rule.remaining -= 1
+                self.fired.append(
+                    (point, {k: v for k, v in ctx.items() if isinstance(v, (str, int, float, bool))})
+                )
+            self._execute(rule, ctx)
+
+    @staticmethod
+    def _execute(rule: _Rule, ctx: Dict[str, Any]) -> None:
+        if rule.action == "delay":
+            time.sleep(rule.value)
+        elif rule.action == "error":
+            exc = rule.value
+            if isinstance(exc, str):
+                exc = InjectedFaultError(exc)
+            elif isinstance(exc, type):
+                exc = exc("injected fault")
+            raise exc
+        elif rule.action == "disconnect":
+            raise ConnectionResetError("injected disconnect")
+        elif rule.action == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif rule.action == "phantom":
+            # Publish an unbacked bound, then die before reporting any
+            # solution: the parent's phantom-bound audit must catch this.
+            best_size = ctx.get("best_size")
+            if best_size is not None:
+                best_size.value += rule.value
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+def install(injector: FaultInjector) -> FaultInjector:
+    """Module-level alias of :meth:`FaultInjector.install`."""
+    return injector.install()
+
+
+def uninstall() -> None:
+    """Remove whatever injector is installed (worker-side env copy included)."""
+    global _active
+    with _install_lock:
+        _active = None
+        os.environ.pop(ENV_VAR, None)
+
+
+def _load_from_env() -> None:
+    """Worker-side: build an injector from ``REPRO_FAULTS`` (once per process)."""
+    global _active, _env_checked
+    _env_checked = True
+    raw = os.environ.get(ENV_VAR)
+    if not raw:
+        return
+    try:
+        specs = json.loads(raw)
+    except ValueError:
+        return
+    injector = FaultInjector()
+    for spec in specs:
+        injector._rules.append(
+            _Rule(
+                spec.get("point", ""),
+                spec.get("action", ""),
+                spec.get("value"),
+                spec.get("match"),
+                spec.get("times"),
+            )
+        )
+    _active = injector
+
+
+def fire(point: str, **ctx: Any) -> None:
+    """Trigger the fault point ``point``; a near-free no-op when nothing is installed."""
+    if _active is None:
+        if _env_checked or ENV_VAR not in os.environ:
+            return
+        _load_from_env()
+        if _active is None:
+            return
+    _active._fire(point, ctx)

@@ -60,7 +60,13 @@ class TestGraphStore:
         config = SolverConfig()
         first = store.prepared(digest, 1, config)
         assert store.prepared(digest, 1, config) is first
-        assert store.stats() == {"graphs": 1, "prepares": 1, "prepared_hits": 1}
+        stats = store.stats()
+        assert stats["graphs"] == 1
+        assert stats["prepares"] == 1
+        assert stats["prepared_hits"] == 1
+        assert stats["prepared_artifacts"] == 1
+        assert stats["graph_evictions"] == 0
+        assert stats["prepared_evictions"] == 0
         # a different k is a different slot
         store.prepared(digest, 2, config)
         assert store.stats()["prepares"] == 2
