@@ -293,6 +293,14 @@ def build_parser() -> argparse.ArgumentParser:
              "in-flight solves before cancelling them (default: wait forever)",
     )
     serve.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="PATH",
+        help="directory for durable service state (graphs, prepared artifacts, "
+             "result journal, solve checkpoints); restored on startup, so a "
+             "crashed or killed service restarts warm (default: in-memory only)",
+    )
+    serve.add_argument(
         "--preload",
         nargs="*",
         default=[],
@@ -528,7 +536,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_deadline=args.default_deadline,
         max_pending=args.max_pending,
         drain_timeout=args.drain_timeout,
+        state_dir=args.state_dir,
     )
+    if args.state_dir is not None:
+        counters = server.service.stats()
+        print(
+            f"state restored from {args.state_dir}: "
+            f"{counters['restored_graphs']} graph(s), "
+            f"{counters['restored_prepared']} prepared artifact(s), "
+            f"{counters['restored_results']} cached result(s)",
+            flush=True,
+        )
     for path in args.preload:
         graph = load_graph(path, fmt=args.format)
         digest = server.service.store.add(graph, name=os.path.basename(path))

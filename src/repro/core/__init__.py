@@ -16,6 +16,7 @@ from .bounds import (
     ub3_degree_sequence,
 )
 from .branching import select_branching_vertex
+from .checkpoint import SolveCheckpoint, checkpoint_meta
 from .config import BACKEND_NAMES, ENGINE_NAMES, VARIANT_NAMES, SolverConfig, variant_config
 from .decompose import build_ego_subproblem, solve_decomposed
 from .parallel import solve_decomposed_parallel
@@ -88,6 +89,8 @@ __all__ = [
     "solve_decomposed",
     "solve_decomposed_parallel",
     "build_ego_subproblem",
+    "SolveCheckpoint",
+    "checkpoint_meta",
     "select_branching_vertex",
     "apply_reductions",
     "apply_rr1",

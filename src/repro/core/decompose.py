@@ -36,7 +36,10 @@ what makes them embarrassingly parallel: :mod:`repro.core.parallel` reuses
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from .checkpoint import SolveCheckpoint
 
 from ..graphs.degeneracy import degeneracy_ordering
 from ..graphs.graph import Graph
@@ -155,6 +158,7 @@ def solve_decomposed(
     incumbent: List[int],
     adj: Optional[Mapping[int, Sequence[int]]] = None,
     decomposition: Optional[Tuple[Sequence[int], Mapping[int, int]]] = None,
+    checkpoint: Optional["SolveCheckpoint"] = None,
 ) -> None:
     """Solve ``working`` by per-vertex ego subproblems, improving ``incumbent`` in place.
 
@@ -186,6 +190,15 @@ def solve_decomposed(
         Optional precomputed ``(ordering, position)`` degeneracy
         decomposition of the instance; computed from ``working`` when
         absent.
+    checkpoint:
+        Optional :class:`~repro.core.checkpoint.SolveCheckpoint`.  Anchors
+        it journaled as completed by an earlier interrupted run of this
+        same solve are skipped (counted in ``stats.subproblems_restored``)
+        after restoring its re-verified incumbent, and every anchor
+        completed here is journaled in turn.  Because each anchor is
+        recorded only after its search returns and the loop is
+        deterministic from a given incumbent, an interrupted-then-resumed
+        sequential solve ends bit-identical to an uninterrupted one.
     """
     if len(incumbent) < k + 1:
         raise ValueError(
@@ -200,11 +213,23 @@ def solve_decomposed(
         ordering, position = decomposition
     neighbors = adj.__getitem__ if adj is not None else working.neighbors
 
+    completed: Sequence[int] = ()
+    if checkpoint is not None:
+        restored = checkpoint.verified_incumbent(neighbors, k)
+        if len(restored) > len(incumbent):
+            incumbent[:] = restored
+        completed = frozenset(checkpoint.completed)
+
     # Process anchors in reverse peeling order: the densest part of the graph
     # (where the maximum solution almost always lives) is searched first, so
     # the incumbent tightens early and the cheap size cap in
     # build_ego_subproblem skips most of the remaining, sparser ego nets
     # without building them.
     for v in reversed(ordering):
+        if v in completed:
+            stats.subproblems_restored += 1
+            continue
         check_budget()
         solve_anchor(neighbors, position, v, k, config, stats, check_budget, incumbent)
+        if checkpoint is not None:
+            checkpoint.record(v, incumbent)

@@ -73,7 +73,10 @@ from __future__ import annotations
 
 import multiprocessing
 import time
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .checkpoint import SolveCheckpoint
 
 from ..exceptions import BudgetExceededError
 from ..graphs.degeneracy import degeneracy_ordering
@@ -305,6 +308,7 @@ def solve_decomposed_parallel(
     node_limit: Optional[int] = None,
     adj: Optional[Dict[int, Tuple[int, ...]]] = None,
     decomposition: Optional[Tuple[Sequence[int], Dict[int, int]]] = None,
+    checkpoint: Optional["SolveCheckpoint"] = None,
 ) -> None:
     """Parallel twin of :func:`repro.core.decompose.solve_decomposed`.
 
@@ -326,6 +330,16 @@ def solve_decomposed_parallel(
         Optional precomputed ``(ordering, position)`` degeneracy
         decomposition; computed from ``working`` when absent.  ``working``
         may be ``None`` when both ``adj`` and ``decomposition`` are given.
+    checkpoint:
+        Optional :class:`~repro.core.checkpoint.SolveCheckpoint` (used in
+        the parent process only; workers never see it).  Anchors journaled
+        as completed are excluded up front (counted in
+        ``stats.subproblems_restored``) after restoring the re-verified
+        incumbent; a pool round's merged batches are journaled only when
+        the round finished without a budget trip *and* passed the
+        phantom-bound audit — a batch interrupted mid-flight or a round
+        whose pruning may have leaned on an unbacked bound is never marked
+        done.
 
     Raises
     ------
@@ -349,6 +363,15 @@ def solve_decomposed_parallel(
 
     if adj is None:
         adj = {v: tuple(working.neighbors(v)) for v in working}
+    if checkpoint is not None:
+        restored = checkpoint.verified_incumbent(adj.__getitem__, k)
+        if len(restored) > len(incumbent):
+            incumbent[:] = restored
+        done = checkpoint.completed
+        if done:
+            kept = [v for v in anchors if v not in done]
+            stats.subproblems_restored += len(anchors) - len(kept)
+            anchors = kept
     mp = multiprocessing.get_context()
 
     def merge(local_best: List[int], batch_stats: SearchStats) -> None:
@@ -473,8 +496,18 @@ def solve_decomposed_parallel(
         # everything this round merged, since those batches may have pruned
         # subproblems against the unbacked bound.  (On a fully completed
         # healthy round the audit always passes, so this costs nothing.)
-        if not exceeded and best_size.value > len(incumbent):
-            remaining.update(merged_this_round)
+        if best_size.value > len(incumbent):
+            if not exceeded:
+                remaining.update(merged_this_round)
+        elif checkpoint is not None and not exceeded and merged_this_round:
+            # Journal only audit-clean rounds: a merged batch then provably
+            # completed all its anchors with every prune backed by the
+            # verified incumbent.  Budget-tripped rounds journal nothing —
+            # a batch flagged `exceeded` is partial, and even its clean
+            # siblings are cheap to redo compared to marking one started
+            # anchor as done.
+            for index in sorted(merged_this_round):
+                checkpoint.record_batch(merged_this_round[index], incumbent)
 
     for _ in range(_MAX_POOL_ROUNDS):
         if not remaining or exceeded:
@@ -494,3 +527,5 @@ def solve_decomposed_parallel(
                 check_budget()
                 solve_anchor(adj.__getitem__, position, v, k, config, stats,
                              check_budget, incumbent)
+                if checkpoint is not None:
+                    checkpoint.record(v, incumbent)

@@ -51,6 +51,9 @@ class SearchStats:
     #: decomposition anchors skipped outright because the incumbent size cap
     #: proved their ego net could not contain a larger solution
     subproblems_pruned: int = 0
+    #: decomposition anchors skipped because a solve checkpoint journaled
+    #: them as completed by an earlier (interrupted) run of the same solve
+    subproblems_restored: int = 0
     #: worker processes used by the decomposition (1 = sequential in-process;
     #: 0 when the solve never entered the decomposition).  A parallel solve
     #: degraded to sequential by lost-worker recovery reports 1, so timing
@@ -108,6 +111,7 @@ class SearchStats:
             "backend": self.backend,
             "subproblems": self.subproblems,
             "subproblems_pruned": self.subproblems_pruned,
+            "subproblems_restored": self.subproblems_restored,
             "workers": self.workers,
             "engine": self.engine,
             "trail_pushes": self.trail_pushes,
@@ -131,9 +135,9 @@ class SearchStats:
         per-worker statistics into the owning solve's counters.  Additive
         counters are summed, ``max_depth`` is maximised; phase-level fields
         (``initial_solution_size``, ``elapsed_seconds``, ``backend``,
-        ``workers``, and the request-level ``prepare_ms``/``queue_ms``/
-        ``solve_ms``/``cache_hit``) belong to the owning solve and are left
-        untouched.
+        ``workers``, ``subproblems_restored``, and the request-level
+        ``prepare_ms``/``queue_ms``/``solve_ms``/``cache_hit``) belong to
+        the owning solve and are left untouched.
         """
         self.nodes += other.nodes
         self.max_depth = max(self.max_depth, other.max_depth)

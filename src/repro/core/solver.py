@@ -57,7 +57,10 @@ import dataclasses
 import sys
 import threading
 import time
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .checkpoint import SolveCheckpoint
 
 from ..exceptions import BudgetExceededError, InvalidParameterError
 from ..graphs.graph import Graph, Vertex
@@ -116,11 +119,16 @@ class _SolveRun:
     """
 
     def __init__(
-        self, config: SolverConfig, name: str, cancel: Optional[threading.Event] = None
+        self,
+        config: SolverConfig,
+        name: str,
+        cancel: Optional[threading.Event] = None,
+        checkpoint: Optional["SolveCheckpoint"] = None,
     ) -> None:
         self.config = config
         self.name = name
         self.cancel = cancel
+        self.checkpoint = checkpoint
         self.stats = SearchStats()
         self.best: List[int] = []
         start = time.perf_counter()
@@ -274,11 +282,13 @@ class _SolveRun:
                     None, k, config, self.stats, self._check_budget, self.best,
                     deadline=deadline, node_limit=self.node_limit,
                     adj=prepared.working_adj, decomposition=prepared.decomposition(),
+                    checkpoint=self.checkpoint,
                 )
             else:
                 solve_decomposed(
                     None, k, config, self.stats, self._check_budget, self.best,
                     adj=prepared.working_adj, decomposition=prepared.decomposition(),
+                    checkpoint=self.checkpoint,
                 )
             return
         to_global, adj_bits = prepared.packed_adjacency()
@@ -411,6 +421,7 @@ class KDCSolver:
         time_limit: Optional[float] = None,
         node_limit: Optional[int] = None,
         cancel: Optional[threading.Event] = None,
+        checkpoint: Optional["SolveCheckpoint"] = None,
     ) -> SolveResult:
         """Execute the branch-and-bound against an already-prepared artifact.
 
@@ -441,6 +452,14 @@ class KDCSolver:
             return its best-so-far result with ``optimal=False`` promptly.
             This is the cooperative-cancellation hook the service's
             graceful drain uses.
+        checkpoint:
+            Optional :class:`~repro.core.checkpoint.SolveCheckpoint`
+            threaded into the degeneracy-decomposition drivers: a
+            decomposed solve skips the anchors a previous interrupted run
+            journaled as completed and journals its own progress in turn.
+            Ignored by non-decomposed solves (whole-graph searches have no
+            subproblem granularity to checkpoint at).  The caller owns the
+            checkpoint's lifecycle (``close``/``complete``).
 
         Returns
         -------
@@ -464,7 +483,7 @@ class KDCSolver:
             overrides["node_limit"] = node_limit
         if overrides:
             config = dataclasses.replace(config, **overrides)
-        run = _SolveRun(config, self.name, cancel=cancel)
+        run = _SolveRun(config, self.name, cancel=cancel, checkpoint=checkpoint)
         return run.execute_prepared(prepared, k)
 
 

@@ -29,9 +29,19 @@ admission control with fast-fail shedding
 (``close(drain_timeout=...)``), and client-side retry with exponential
 backoff.  The deterministic fault-injection harness behind its chaos suite
 lives in :mod:`repro.testing.chaos`.
+
+State is optionally durable: attach a
+:class:`~repro.service.persistence.ServicePersistence` (or pass
+``state_dir`` to :class:`ServiceServer` / ``repro serve --state-dir``) and
+graphs, prepared artifacts and the optimal-result cache survive crashes via
+atomic snapshots plus a checksummed write-ahead journal, while decomposed
+solves checkpoint per-subproblem progress
+(:mod:`repro.core.checkpoint`) so a killed solve resumes instead of
+restarting.
 """
 
 from .client import Client
+from .persistence import ServicePersistence
 from .scheduler import SolverService
 from .server import ServiceServer, handle_request, run_server
 from .store import GraphStore
@@ -39,6 +49,7 @@ from .store import GraphStore
 __all__ = [
     "Client",
     "GraphStore",
+    "ServicePersistence",
     "ServiceServer",
     "SolverService",
     "handle_request",

@@ -1,0 +1,272 @@
+"""Durable on-disk state for the solver service: snapshots + journals.
+
+:class:`ServicePersistence` owns one *state directory* and gives the service
+three kinds of durable state, each with crash semantics chosen for its write
+pattern:
+
+``graphs/<digest>.pkl`` and ``prepared/<token>.pkl``
+    **Digest-addressed snapshots** of stored graphs and prepared artifacts,
+    written via write-temp/fsync/atomic-rename
+    (:func:`~repro.core.checkpoint.atomic_write_bytes`).  Content-addressed
+    files are written at most once and never modified, so a crash can only
+    leave behind a stale ``*.tmp.*`` file — which loading ignores.
+
+``results.wal``
+    A **checksummed append-only journal** of optimal-result cache entries
+    (one pickled ``(key, SolveResult)`` per record, fsynced per append —
+    optimal completions are rare events).  On startup the journal is
+    replayed; a truncated or checksum-corrupt tail (the normal residue of a
+    crash mid-append) is discarded with a warning and the file truncated
+    back to its valid prefix, never a fatal error.
+
+``checkpoints/<token>.wal``
+    One :class:`~repro.core.checkpoint.SolveCheckpoint` journal per
+    in-progress decomposed solve, keyed by the solve's identity token.  The
+    journal survives a crash, is consumed by the resumed solve, and is
+    deleted when the solve completes optimally.
+
+Every load path is defensive: an unreadable snapshot or journal entry is
+skipped with a warning — durable state accelerates a restart, it must never
+prevent one.  Write paths *raise* (the callers in
+:mod:`repro.service.store` / :mod:`repro.service.scheduler` catch and warn,
+so a full disk degrades the service to in-memory operation instead of
+killing requests).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import logging
+import os
+import pickle
+import threading
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..core.checkpoint import (
+    SolveCheckpoint,
+    append_record,
+    atomic_write_bytes,
+    checkpoint_meta,
+    checkpoint_token,
+    read_records,
+)
+from ..core.config import SolverConfig
+from ..core.prepared import PreparedInstance
+from ..core.result import SolveResult
+from ..graphs.graph import Graph
+from ..testing import chaos as faults
+
+__all__ = ["ServicePersistence"]
+
+logger = logging.getLogger("repro.service.persistence")
+
+
+def _prepared_token(key: Tuple) -> str:
+    """Filename-safe token of a prepared-artifact cache key."""
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()[:32]
+
+
+class ServicePersistence:
+    """Filesystem-backed durability for one solver service instance.
+
+    Thread-safe.  One instance owns one state directory; sharing a directory
+    between two live services is not supported (the last writer wins on the
+    results journal).
+
+    Parameters
+    ----------
+    root:
+        State directory; created (with its subdirectories) when absent.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.graphs_dir = os.path.join(root, "graphs")
+        self.prepared_dir = os.path.join(root, "prepared")
+        self.checkpoints_dir = os.path.join(root, "checkpoints")
+        self.results_path = os.path.join(root, "results.wal")
+        for directory in (self.graphs_dir, self.prepared_dir, self.checkpoints_dir):
+            os.makedirs(directory, exist_ok=True)
+        self._lock = threading.Lock()
+        self._results_fh = None
+        self._results_validated = False
+        #: Solve-identity tokens with a live checkpoint handle: two
+        #: concurrent solves of the same identity (same digest/k/config but
+        #: e.g. different budgets, so they do not coalesce upstream) must
+        #: not interleave appends into one journal.
+        self._active_checkpoints: set = set()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Graph snapshots
+    # ------------------------------------------------------------------ #
+    def _graph_path(self, digest: str) -> str:
+        return os.path.join(self.graphs_dir, f"{digest}.pkl")
+
+    def save_graph(self, digest: str, name: Optional[str], graph: Graph) -> None:
+        """Persist one graph snapshot (idempotent: content-addressed)."""
+        path = self._graph_path(digest)
+        if os.path.exists(path):
+            return
+        blob = pickle.dumps((name, graph), protocol=pickle.HIGHEST_PROTOCOL)
+        atomic_write_bytes(path, blob)
+
+    def load_graphs(self) -> Iterator[Tuple[str, Optional[str], Graph]]:
+        """Yield ``(digest, name, graph)`` for every readable graph snapshot."""
+        for filename in sorted(os.listdir(self.graphs_dir)):
+            if not filename.endswith(".pkl"):
+                continue  # stale *.tmp.* files from a crash mid-publish
+            path = os.path.join(self.graphs_dir, filename)
+            faults.fire("persist.replay", path=path)
+            try:
+                with open(path, "rb") as fh:
+                    name, graph = pickle.load(fh)
+                if not isinstance(graph, Graph):
+                    raise TypeError(f"expected a Graph, got {type(graph).__name__}")
+            except Exception as exc:
+                logger.warning("skipping unreadable graph snapshot %s: %s", path, exc)
+                continue
+            yield filename[: -len(".pkl")], name, graph
+
+    # ------------------------------------------------------------------ #
+    # Prepared-artifact snapshots
+    # ------------------------------------------------------------------ #
+    def save_prepared(self, key: Tuple, artifact: PreparedInstance) -> None:
+        """Persist one prepared artifact under its cache key's token."""
+        path = os.path.join(self.prepared_dir, f"{_prepared_token(key)}.pkl")
+        if os.path.exists(path):
+            return
+        blob = pickle.dumps((key, artifact), protocol=pickle.HIGHEST_PROTOCOL)
+        atomic_write_bytes(path, blob)
+
+    def load_prepared(self) -> Iterator[Tuple[Tuple, PreparedInstance]]:
+        """Yield ``(key, artifact)`` for every readable prepared snapshot."""
+        for filename in sorted(os.listdir(self.prepared_dir)):
+            if not filename.endswith(".pkl"):
+                continue
+            path = os.path.join(self.prepared_dir, filename)
+            faults.fire("persist.replay", path=path)
+            try:
+                with open(path, "rb") as fh:
+                    key, artifact = pickle.load(fh)
+                if not isinstance(artifact, PreparedInstance):
+                    raise TypeError(f"expected a PreparedInstance, got {type(artifact).__name__}")
+            except Exception as exc:
+                logger.warning("skipping unreadable prepared snapshot %s: %s", path, exc)
+                continue
+            yield tuple(key), artifact
+
+    # ------------------------------------------------------------------ #
+    # Optimal-result journal
+    # ------------------------------------------------------------------ #
+    def replay_results(self) -> List[Tuple[Tuple, SolveResult]]:
+        """Replay the results journal, truncating any damaged tail.
+
+        Unreadable records *within* the valid prefix (e.g. written by an
+        incompatible version) are skipped with a warning; the damaged-tail
+        truncation makes later appends land on a valid record boundary.
+        """
+        with self._lock:
+            scan = read_records(self.results_path)
+            if scan.damaged:
+                try:
+                    with open(self.results_path, "rb+") as fh:
+                        fh.truncate(scan.valid_bytes)
+                except OSError as exc:
+                    logger.warning(
+                        "could not truncate damaged results journal %s: %s",
+                        self.results_path, exc,
+                    )
+            self._results_validated = True
+        entries: List[Tuple[Tuple, SolveResult]] = []
+        for raw in scan.records:
+            try:
+                key, result = pickle.loads(raw)
+                if not isinstance(result, SolveResult):
+                    raise TypeError(f"expected a SolveResult, got {type(result).__name__}")
+            except Exception as exc:
+                logger.warning("skipping unreadable results-journal record: %s", exc)
+                continue
+            entries.append((tuple(key), result))
+        return entries
+
+    def append_result(self, key: Tuple, result: SolveResult) -> None:
+        """Append one optimal result to the journal (fsynced)."""
+        with self._lock:
+            if self._closed:
+                return
+            if not self._results_validated:
+                # Never append after an unvalidated (possibly damaged) tail.
+                scan = read_records(self.results_path)
+                if scan.damaged:
+                    with open(self.results_path, "rb+") as fh:
+                        fh.truncate(scan.valid_bytes)
+                self._results_validated = True
+            if self._results_fh is None:
+                self._results_fh = open(self.results_path, "ab")
+            append_record(
+                self._results_fh,
+                pickle.dumps((key, result), protocol=pickle.HIGHEST_PROTOCOL),
+            )
+            self._results_fh.flush()
+            os.fsync(self._results_fh.fileno())
+
+    def rewrite_results(self, entries: List[Tuple[Tuple, SolveResult]]) -> None:
+        """Atomically replace the results journal with ``entries`` (compaction)."""
+        buffer = io.BytesIO()
+        for key, result in entries:
+            append_record(buffer, pickle.dumps((key, result), protocol=pickle.HIGHEST_PROTOCOL))
+        with self._lock:
+            if self._results_fh is not None:
+                self._results_fh.close()
+                self._results_fh = None
+            atomic_write_bytes(self.results_path, buffer.getvalue())
+            self._results_validated = True
+
+    # ------------------------------------------------------------------ #
+    # Solve checkpoints
+    # ------------------------------------------------------------------ #
+    def open_checkpoint(
+        self, digest: str, k: int, algorithm: str, config: SolverConfig
+    ) -> Optional[SolveCheckpoint]:
+        """Open (resuming if present) the checkpoint journal for one solve.
+
+        Returns ``None`` when another live solve of the same identity
+        already owns the journal — the second solve simply runs
+        un-checkpointed rather than corrupting the first one's journal.
+        """
+        meta = checkpoint_meta(digest, k, algorithm, config)
+        token = checkpoint_token(meta)
+        with self._lock:
+            if self._closed or token in self._active_checkpoints:
+                return None
+            self._active_checkpoints.add(token)
+
+        def release() -> None:
+            with self._lock:
+                self._active_checkpoints.discard(token)
+
+        path = os.path.join(self.checkpoints_dir, f"{token}.wal")
+        try:
+            return SolveCheckpoint(path, meta, on_release=release)
+        except Exception:
+            release()
+            raise
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Flush and close the journal handle (snapshots need no teardown)."""
+        with self._lock:
+            self._closed = True
+            if self._results_fh is not None:
+                try:
+                    self._results_fh.flush()
+                    os.fsync(self._results_fh.fileno())
+                except OSError:
+                    pass
+                try:
+                    self._results_fh.close()
+                except OSError:
+                    pass
+                self._results_fh = None

@@ -59,7 +59,7 @@ import time
 from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor, wait as futures_wait
 from dataclasses import replace
-from typing import Dict, List, Optional, Set, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple, Union
 
 from ..core.config import VARIANT_NAMES, SolverConfig, variant_config
 from ..core.result import SolveResult
@@ -73,6 +73,9 @@ from ..exceptions import (
 from ..graphs.graph import Graph
 from ..testing import chaos as faults
 from .store import GraphStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .persistence import ServicePersistence
 
 __all__ = ["SolverService"]
 
@@ -96,6 +99,12 @@ _DEFAULT_SOLVE_ESTIMATE_SECONDS = 0.2
 
 #: Smoothing factor of the solve-time EWMA behind ``retry_after``.
 _EWMA_ALPHA = 0.2
+
+#: Staleness half-life of the EWMA solve-time estimate: while the service
+#: is idle, the estimate's excess over the default decays by half every
+#: this many seconds, so one slow solve long ago cannot inflate shed-reply
+#: ``retry_after`` hints forever (the default acts as the floor).
+_EWMA_STALE_HALF_LIFE_SECONDS = 30.0
 
 #: Upper bound the watchdog sleeps between deadline scans even when no
 #: deadline is near — bounds how stale its view of a closing service can be.
@@ -152,6 +161,18 @@ class SolverService:
     result_cache_size:
         LRU cap on the optimal-result cache (default 1024; ``None`` =
         unbounded).
+    persistence:
+        Optional :class:`~repro.service.persistence.ServicePersistence`
+        making the service durable: on construction the optimal-result
+        journal is replayed into the cache (and, when ``store`` is omitted,
+        the private store is built over the same persistence so graph and
+        prepared-artifact snapshots restore too); afterwards every optimal
+        result is journaled and every decomposed solve checkpoints its
+        subproblem progress, so a killed service restarted on the same
+        state directory answers warm and resumes interrupted solves instead
+        of recomputing from zero.  All persistence I/O is best-effort: a
+        failing disk degrades the service to in-memory operation with a
+        warning, it never fails a request.
     """
 
     def __init__(
@@ -162,6 +183,7 @@ class SolverService:
         max_pending: Optional[int] = None,
         default_deadline: Optional[float] = None,
         result_cache_size: Optional[int] = 1024,
+        persistence: Optional["ServicePersistence"] = None,
     ) -> None:
         if max_concurrency < 1:
             raise InvalidParameterError("max_concurrency must be a positive integer")
@@ -171,7 +193,8 @@ class SolverService:
             raise InvalidParameterError("default_deadline must be positive or None")
         if result_cache_size is not None and result_cache_size < 1:
             raise InvalidParameterError("result_cache_size must be a positive integer or None")
-        self.store = store if store is not None else GraphStore()
+        self._persistence = persistence
+        self.store = store if store is not None else GraphStore(persistence=persistence)
         self.config = config if config is not None else SolverConfig()
         self.max_concurrency = max_concurrency
         self.max_pending = max_pending
@@ -195,8 +218,39 @@ class SolverService:
         self._deadline_expired = 0
         self._drain_cancelled = 0
         self._result_evictions = 0
+        self._restored_results = 0
         self._ewma_solve_seconds = 0.0
+        self._ewma_updated = time.monotonic()
         self._closed = False
+        if persistence is not None:
+            self._replay_results()
+
+    def _replay_results(self) -> None:
+        """Warm the result cache from the persistence journal (never fatal)."""
+        try:
+            entries = self._persistence.replay_results()
+        except Exception:
+            logger.warning("replaying the results journal failed; starting cold",
+                           exc_info=True)
+            return
+        kept: "OrderedDict[_ResultKey, SolveResult]" = OrderedDict()
+        for key, result in entries:
+            if len(key) != 5 or not result.optimal:
+                continue
+            kept[key] = result
+            kept.move_to_end(key)
+        if self.result_cache_size is not None:
+            while len(kept) > self.result_cache_size:
+                kept.popitem(last=False)
+        self._results = kept
+        self._restored_results = len(kept)
+        if len(kept) != len(entries):
+            # Journal had duplicates, damage or more entries than the cache
+            # keeps: compact it to exactly what was restored.
+            try:
+                self._persistence.rewrite_results(list(kept.items()))
+            except Exception:
+                logger.warning("compacting the results journal failed", exc_info=True)
 
     # ------------------------------------------------------------------ #
     # Configuration plumbing
@@ -351,8 +405,22 @@ class SolverService:
     # Admission control internals
     # ------------------------------------------------------------------ #
     def _retry_after_locked(self) -> float:
-        """Estimate (seconds) until capacity frees up, from backlog x EWMA solve time."""
+        """Estimate (seconds) until capacity frees up, from backlog x EWMA solve time.
+
+        The EWMA only updates when a solve completes, so without correction
+        one pathologically slow solve would inflate every shed reply until
+        the *next* completion — which overload may be actively preventing.
+        The estimate's excess over the cold-start default therefore decays
+        with the time since the last completion
+        (:data:`_EWMA_STALE_HALF_LIFE_SECONDS` half-life), flooring at the
+        default instead of at the stale measurement.
+        """
         estimate = self._ewma_solve_seconds or _DEFAULT_SOLVE_ESTIMATE_SECONDS
+        if estimate > _DEFAULT_SOLVE_ESTIMATE_SECONDS:
+            idle = max(0.0, time.monotonic() - self._ewma_updated)
+            estimate = _DEFAULT_SOLVE_ESTIMATE_SECONDS + (
+                estimate - _DEFAULT_SOLVE_ESTIMATE_SECONDS
+            ) * 0.5 ** (idle / _EWMA_STALE_HALF_LIFE_SECONDS)
         backlog = max(1, len(self._tracked))
         return min(30.0, max(0.05, backlog * estimate / self.max_concurrency))
 
@@ -485,10 +553,37 @@ class SolverService:
                 effective_limit = remaining
                 deadline_bound = True
         faults.fire("scheduler.solve", digest=digest, k=k)
-        result = solver.solve_prepared(
-            prepared, k,
-            time_limit=effective_limit, node_limit=node_limit, cancel=entry.cancel,
-        )
+        checkpoint = None
+        if self._persistence is not None:
+            # Best-effort: a solve that cannot checkpoint (journal owned by
+            # a concurrent identical solve, unwritable state dir) still runs
+            # — it just cannot be resumed if interrupted.
+            try:
+                checkpoint = self._persistence.open_checkpoint(
+                    digest, k, algorithm, solver.config
+                )
+            except Exception:
+                logger.warning("opening solve checkpoint failed (digest=%s k=%d)",
+                               digest[:12], k, exc_info=True)
+        try:
+            result = solver.solve_prepared(
+                prepared, k,
+                time_limit=effective_limit, node_limit=node_limit, cancel=entry.cancel,
+                checkpoint=checkpoint,
+            )
+        except BaseException:
+            # Keep the journal: whatever the solve recorded before crashing
+            # is exactly what a retry or a restart resumes from.
+            if checkpoint is not None:
+                checkpoint.close()
+            raise
+        if checkpoint is not None:
+            # Optimal answers retire the journal; interrupted ones (budget,
+            # deadline clamp, drain cancel) keep it for the resume.
+            if result.optimal:
+                checkpoint.complete()
+            else:
+                checkpoint.close()
         if not result.optimal and not entry.cancel.is_set():
             # A drain-cancelled solve answers with its partial result; a
             # deadline-clamped one reports the miss as a typed error.  A miss
@@ -502,6 +597,7 @@ class SolverService:
                 )
         result.stats.queue_ms = (started - submitted) * 1000.0
         result.stats.prepare_ms = prepare_ms
+        wal_entry: Optional[Tuple[_ResultKey, SolveResult]] = None
         with self._lock:
             self._solves += 1
             solve_seconds = time.perf_counter() - started
@@ -511,18 +607,29 @@ class SolverService:
                 )
             else:
                 self._ewma_solve_seconds = solve_seconds
+            self._ewma_updated = time.monotonic()
             if result.optimal:
                 key = self._result_key(digest, k, algorithm)
                 if key not in self._results:
                     # Cache a private copy, never the object handed to the
                     # caller: a caller mutating its answer (clique list,
                     # stats) must not corrupt every later cache hit.
-                    self._results[key] = self._copy_result(result)
+                    stored = self._copy_result(result)
+                    self._results[key] = stored
+                    wal_entry = (key, stored)
                 self._results.move_to_end(key)
                 if self.result_cache_size is not None:
                     while len(self._results) > self.result_cache_size:
                         self._results.popitem(last=False)
                         self._result_evictions += 1
+        if wal_entry is not None and self._persistence is not None:
+            # Outside the lock — the journal append fsyncs, and durability
+            # of one result must not stall every concurrent submission.
+            try:
+                self._persistence.append_result(*wal_entry)
+            except Exception:
+                logger.warning("journaling optimal result failed (digest=%s k=%d)",
+                               digest[:12], k, exc_info=True)
         return result
 
     @staticmethod
@@ -580,6 +687,7 @@ class SolverService:
                 "drain_cancelled": self._drain_cancelled,
                 "result_cache_entries": len(self._results),
                 "result_cache_evictions": self._result_evictions,
+                "restored_results": self._restored_results,
             }
         data.update(self.store.stats())
         return data
@@ -608,6 +716,7 @@ class SolverService:
             self._deadline_cond.notify_all()
         if drain_timeout is None:
             self._executor.shutdown(wait=True)
+            self._close_persistence()
             return
         pending = [entry.outer for entry in tracked]
         if pending:
@@ -629,6 +738,14 @@ class SolverService:
             logger.warning("drain deadline expired: cancelled %d request(s)", len(leftovers))
             futures_wait([e.outer for e in leftovers], timeout=_DRAIN_CANCEL_GRACE_SECONDS)
         self._executor.shutdown(wait=False)
+        self._close_persistence()
+
+    def _close_persistence(self) -> None:
+        if self._persistence is not None:
+            try:
+                self._persistence.close()
+            except Exception:
+                logger.warning("closing persistence failed", exc_info=True)
 
     def __enter__(self) -> "SolverService":
         return self

@@ -39,7 +39,7 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Dict, Optional, Tuple
 
 from ..core.config import SolverConfig
-from ..exceptions import DeadlineExceededError, ReproError
+from ..exceptions import DeadlineExceededError, InvalidParameterError, ReproError
 from ..graphs.graph import Graph
 from ..testing import chaos as faults
 from .scheduler import SolverService
@@ -202,7 +202,10 @@ class ServiceServer(socketserver.ThreadingTCPServer):
     the service the server builds when none is passed in;
     ``drain_timeout`` bounds how long :meth:`server_close` waits for
     in-flight solves before cancelling them (``None`` = wait forever, the
-    historical behaviour).
+    historical behaviour).  ``state_dir`` makes the built service durable:
+    graphs, prepared artifacts, optimal results and in-progress solve
+    checkpoints persist there across restarts and crashes (see
+    :class:`~repro.service.persistence.ServicePersistence`).
     """
 
     daemon_threads = True
@@ -218,13 +221,27 @@ class ServiceServer(socketserver.ThreadingTCPServer):
         default_deadline: Optional[float] = None,
         max_pending: Optional[int] = None,
         drain_timeout: Optional[float] = None,
+        state_dir: Optional[str] = None,
     ) -> None:
-        self.service = service if service is not None else SolverService(
-            config=config,
-            max_concurrency=max_concurrency,
-            default_deadline=default_deadline,
-            max_pending=max_pending,
-        )
+        if service is None:
+            persistence = None
+            if state_dir is not None:
+                from .persistence import ServicePersistence
+
+                persistence = ServicePersistence(state_dir)
+            service = SolverService(
+                config=config,
+                max_concurrency=max_concurrency,
+                default_deadline=default_deadline,
+                max_pending=max_pending,
+                persistence=persistence,
+            )
+        elif state_dir is not None:
+            raise InvalidParameterError(
+                "pass state_dir only when the server builds its own service; "
+                "attach a ServicePersistence to the service you construct instead"
+            )
+        self.service = service
         self.drain_timeout = drain_timeout
         super().__init__((host, port), _LineHandler)
 

@@ -13,14 +13,33 @@ them into LRU caches, so a long-lived service under an endless stream of
 novel graphs degrades to evictions (counted in :meth:`stats`) instead of
 growing without bound.  Evicting a graph also drops its prepared artifacts —
 they are unreachable once :meth:`get` no longer resolves the digest.
+
+Durability is optional and best-effort: with a
+:class:`~repro.service.persistence.ServicePersistence` attached, every new
+graph and prepared artifact is snapshotted to disk after it lands in the
+in-memory cache, and construction restores whatever snapshots the state
+directory holds (counted in :meth:`stats` as ``restored_*``).  Persistence
+failures — full disk, bad permissions — log a warning and leave the store
+running in-memory; they never fail the request that triggered the write.
+On-disk snapshots are not deleted on LRU eviction (they are content-
+addressed and cheap), so a restart may restore more than the evicting
+process last held.
+
+The store also pickles: live synchronisation state (the lock, in-flight
+futures) and the persistence attachment are excluded, so a pickled store
+round-trips into an independent, fully functional in-memory copy.
 """
 
 from __future__ import annotations
 
+import logging
 import threading
 from collections import OrderedDict
 from concurrent.futures import Future
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .persistence import ServicePersistence
 
 from ..core.config import SolverConfig
 from ..core.prepared import PreparedInstance, prepare_instance
@@ -29,6 +48,8 @@ from ..graphs.graph import Graph
 from ..testing import chaos as faults
 
 __all__ = ["GraphStore"]
+
+logger = logging.getLogger("repro.service.store")
 
 #: Cache key of one prepared-artifact slot: the digest, ``k``, and the three
 #: prepare-relevant configuration knobs (everything else — backend, engine,
@@ -49,10 +70,17 @@ class GraphStore:
         LRU cap on stored graphs (``None`` = unbounded, the default).
     max_prepared:
         LRU cap on cached prepared artifacts (``None`` = unbounded).
+    persistence:
+        Optional :class:`~repro.service.persistence.ServicePersistence`;
+        when given, construction restores its graph/prepared snapshots and
+        every later addition is snapshotted best-effort.
     """
 
     def __init__(
-        self, max_graphs: Optional[int] = None, max_prepared: Optional[int] = None
+        self,
+        max_graphs: Optional[int] = None,
+        max_prepared: Optional[int] = None,
+        persistence: Optional["ServicePersistence"] = None,
     ) -> None:
         if max_graphs is not None and max_graphs < 1:
             raise InvalidParameterError("max_graphs must be a positive integer or None")
@@ -60,6 +88,7 @@ class GraphStore:
             raise InvalidParameterError("max_prepared must be a positive integer or None")
         self.max_graphs = max_graphs
         self.max_prepared = max_prepared
+        self._persistence = persistence
         self._lock = threading.Lock()
         self._graphs: "OrderedDict[str, Graph]" = OrderedDict()
         self._names: Dict[str, str] = {}
@@ -69,6 +98,37 @@ class GraphStore:
         self._prepared_hits = 0
         self._graph_evictions = 0
         self._prepared_evictions = 0
+        self._restored_graphs = 0
+        self._restored_prepared = 0
+        if persistence is not None:
+            self._restore(persistence)
+
+    def _restore(self, persistence: "ServicePersistence") -> None:
+        """Warm the caches from on-disk snapshots (best-effort, never fatal)."""
+        try:
+            with self._lock:
+                for digest, name, graph in persistence.load_graphs():
+                    if digest in self._graphs:
+                        continue
+                    self._graphs[digest] = graph
+                    if name:
+                        self._names[digest] = name
+                    self._restored_graphs += 1
+                    self._evict_graphs_locked()
+                for key, artifact in persistence.load_prepared():
+                    # An artifact whose graph snapshot is gone (or was just
+                    # evicted by the cap) is unreachable; skip it.
+                    if key[0] not in self._graphs or key in self._prepared:
+                        continue
+                    self._prepared[key] = artifact
+                    self._restored_prepared += 1
+                    if self.max_prepared is not None:
+                        while len(self._prepared) > self.max_prepared:
+                            self._prepared.popitem(last=False)
+                            self._prepared_evictions += 1
+        except Exception:
+            logger.warning("restoring store state failed; continuing with what loaded",
+                           exc_info=True)
 
     # ------------------------------------------------------------------ #
     # Graphs
@@ -82,14 +142,24 @@ class GraphStore:
         evicts the least-recently-used graph (and its prepared artifacts).
         """
         digest = graph.content_digest()
+        stored: Optional[Graph] = None
         with self._lock:
             if digest not in self._graphs:
-                self._graphs[digest] = graph.copy()
+                stored = graph.copy()
+                self._graphs[digest] = stored
                 self._evict_graphs_locked()
             else:
                 self._graphs.move_to_end(digest)
             if name is not None:
                 self._names[digest] = name
+        if stored is not None and self._persistence is not None:
+            # Outside the lock: the snapshot fsyncs, and a slow (or failing)
+            # disk must not serialise every other store operation behind it.
+            try:
+                self._persistence.save_graph(digest, name, stored)
+            except Exception:
+                logger.warning("persisting graph %s failed; kept in memory only",
+                               digest[:12], exc_info=True)
         return digest
 
     def _evict_graphs_locked(self) -> None:
@@ -183,6 +253,12 @@ class GraphStore:
                     self._prepared.popitem(last=False)
                     self._prepared_evictions += 1
         inflight.set_result(artifact)
+        if self._persistence is not None:
+            try:
+                self._persistence.save_prepared(key, artifact)
+            except Exception:
+                logger.warning("persisting prepared artifact for %s failed; kept in memory only",
+                               digest[:12], exc_info=True)
         return artifact
 
     # ------------------------------------------------------------------ #
@@ -196,4 +272,49 @@ class GraphStore:
                 "prepared_artifacts": len(self._prepared),
                 "graph_evictions": self._graph_evictions,
                 "prepared_evictions": self._prepared_evictions,
+                "restored_graphs": self._restored_graphs,
+                "restored_prepared": self._restored_prepared,
             }
+
+    # ------------------------------------------------------------------ #
+    # Pickling
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> Dict[str, object]:
+        """Snapshot the cached data, excluding live synchronisation state.
+
+        The lock, the in-flight futures and the persistence attachment are
+        process-local and unpicklable; the unpickled copy gets a fresh lock,
+        an empty in-flight table (waiters cannot travel between processes —
+        any in-progress preparation simply re-runs on first request) and no
+        persistence (re-attach explicitly if the copy should persist).
+        """
+        with self._lock:
+            return {
+                "max_graphs": self.max_graphs,
+                "max_prepared": self.max_prepared,
+                "graphs": OrderedDict(self._graphs),
+                "names": dict(self._names),
+                "prepared": OrderedDict(self._prepared),
+                "prepares": self._prepares,
+                "prepared_hits": self._prepared_hits,
+                "graph_evictions": self._graph_evictions,
+                "prepared_evictions": self._prepared_evictions,
+                "restored_graphs": self._restored_graphs,
+                "restored_prepared": self._restored_prepared,
+            }
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.max_graphs = state["max_graphs"]
+        self.max_prepared = state["max_prepared"]
+        self._persistence = None
+        self._lock = threading.Lock()
+        self._graphs = OrderedDict(state["graphs"])
+        self._names = dict(state["names"])
+        self._prepared = OrderedDict(state["prepared"])
+        self._inflight = {}
+        self._prepares = state["prepares"]
+        self._prepared_hits = state["prepared_hits"]
+        self._graph_evictions = state["graph_evictions"]
+        self._prepared_evictions = state["prepared_evictions"]
+        self._restored_graphs = state["restored_graphs"]
+        self._restored_prepared = state["restored_prepared"]

@@ -29,6 +29,27 @@ Rules fire deterministically: ``times`` bounds how often a rule triggers and
 ``match`` pins it to specific context values (e.g. one batch index), so a
 chaos test can script an exact failure sequence instead of rolling dice.
 
+Named fault points currently wired into production code:
+
+``store.prepare`` / ``scheduler.solve`` / ``server.reply`` /
+``parallel.batch``
+    The service pipeline (PR 8): artifact preparation, the solve phase, the
+    socket reply, and a worker-pool batch (worker-side; ``kill`` and
+    ``phantom`` belong here).
+``persist.write``
+    Inside :func:`~repro.core.checkpoint.atomic_write_bytes`, between the
+    temp file's fsync and the atomic rename — a crash in the torn-publish
+    window leaves a stale temp file and no destination.
+``persist.replay``
+    At the start of every journal scan and snapshot load — lets tests fail
+    or delay state restoration.
+``checkpoint.append``
+    In :meth:`~repro.core.checkpoint.SolveCheckpoint.record`, before
+    anything is written for that anchor; its context carries ``anchor`` and
+    ``count`` (completed anchors already durable), so ``kill`` pinned to a
+    ``count`` models SIGKILL mid-decomposed-solve with an exact journal
+    state.
+
 Worker processes
 ----------------
 :meth:`FaultInjector.install` also serialises the env-safe rules into the

@@ -285,6 +285,45 @@ class TestSolverService:
             assert all(isinstance(e, ReproError) for e in closed_errors)
 
 
+class TestRetryAfterEstimate:
+    """The shed-reply hint must not be held hostage by one stale slow solve."""
+
+    def test_stale_ewma_decays_toward_default(self):
+        from repro.service.scheduler import (
+            _DEFAULT_SOLVE_ESTIMATE_SECONDS,
+            _EWMA_STALE_HALF_LIFE_SECONDS,
+        )
+
+        with SolverService(max_concurrency=1) as service:
+            with service._lock:
+                fresh_now = service._retry_after_locked()
+            # One pathologically slow solve finished long ago; no solve has
+            # completed since (e.g. because overload is shedding everything).
+            service._ewma_solve_seconds = 10.0
+            service._ewma_updated = time.monotonic() - 20 * _EWMA_STALE_HALF_LIFE_SECONDS
+            with service._lock:
+                stale = service._retry_after_locked()
+            # The stale measurement has decayed to (essentially) the
+            # cold-start default instead of quoting 10s forever.
+            assert stale < 2 * _DEFAULT_SOLVE_ESTIMATE_SECONDS
+            assert stale == pytest.approx(fresh_now, rel=0.5)
+
+    def test_fresh_ewma_is_quoted_undecayed(self):
+        with SolverService(max_concurrency=1) as service:
+            service._ewma_solve_seconds = 10.0
+            service._ewma_updated = time.monotonic()
+            with service._lock:
+                assert service._retry_after_locked() == pytest.approx(10.0, rel=0.05)
+
+    def test_completion_refreshes_the_estimate_clock(self, graph):
+        with SolverService(max_concurrency=1) as service:
+            digest = service.store.add(graph)
+            service._ewma_updated = time.monotonic() - 1000.0
+            before = service._ewma_updated
+            service.solve(digest, 1)
+            assert service._ewma_updated > before
+
+
 class TestConcurrentDifferential:
     """The satellite cell: interleaved service answers == fresh sequential solves."""
 

@@ -15,6 +15,7 @@ invariants of the service layer:
 
 from __future__ import annotations
 
+import os
 import socket
 import threading
 import time
@@ -489,6 +490,153 @@ class TestParallelWorkerFaults:
         assert result.optimal
         assert result.size == expected.size
         assert is_k_defective_clique(parallel_graph, result.clique, self.K)
+
+
+class TestCrashRecovery:
+    """Durability under crashes: torn publishes, damaged journals, SIGKILL + resume."""
+
+    K = 2
+    CONFIG = SolverConfig(backend="bitset", decompose_threshold=1, workers=1)
+
+    @pytest.fixture
+    def state_dir(self, tmp_path):
+        return str(tmp_path / "state")
+
+    def _persistence(self, state_dir):
+        from repro.service import ServicePersistence
+
+        return ServicePersistence(state_dir)
+
+    def _service(self, state_dir, **kwargs):
+        return SolverService(
+            config=self.CONFIG, persistence=self._persistence(state_dir), **kwargs
+        )
+
+    def test_snapshot_write_failure_degrades_to_in_memory(self, graph, state_dir):
+        """A crash in the publish window (or any write failure) never fails requests."""
+        with FaultInjector().add("persist.write", error="disk died", times=1):
+            with self._service(state_dir) as service:
+                digest = service.store.add(graph)  # snapshot write fails here
+                answer = service.solve(digest, self.K)
+                assert answer.optimal  # the request itself is unharmed
+
+        with self._service(state_dir) as warm:
+            # The torn graph snapshot was never published, but the result
+            # journal (a separate path) survived: re-adding the graph makes
+            # the restored cache answer immediately.
+            assert warm.store.stats()["restored_graphs"] == 0
+            assert warm.stats()["restored_results"] == 1
+            hit = warm.solve(graph, self.K)
+            assert hit.stats.cache_hit and hit.size == answer.size
+
+    def test_truncated_results_tail_restores_valid_prefix(self, graph, state_dir):
+        other = gnp_random_graph(30, 0.3, seed=4)
+        with self._service(state_dir) as service:
+            first = service.solve(graph, self.K)
+            service.solve(other, self.K)
+        results_path = self._persistence(state_dir).results_path
+        with open(results_path, "rb+") as fh:
+            fh.truncate(fh.seek(0, 2) - 9)  # crash mid-append of the last record
+
+        with self._service(state_dir) as warm:
+            assert warm.stats()["restored_results"] == 1
+            assert warm.solve(graph, self.K).stats.cache_hit
+            # the lost entry is simply re-solved — and matches exactly
+            redo = warm.solve(other, self.K)
+            assert not redo.stats.cache_hit
+            assert redo.size == sequential_answer(other, self.K).size
+        assert first.size == sequential_answer(graph, self.K).size
+
+    def test_corrupt_checksum_record_discards_damaged_suffix(self, state_dir):
+        """Bit rot inside the journal drops everything from the bad record on."""
+        from repro.core.checkpoint import read_records
+
+        graphs = [gnp_random_graph(16, 0.4, seed=s) for s in range(3)]
+        with self._service(state_dir) as service:
+            for g in graphs:
+                service.solve(g, self.K)
+        results_path = self._persistence(state_dir).results_path
+        scan = read_records(results_path)
+        assert len(scan.records) == 3
+        offset = 8 + len(scan.records[0]) + 8 + 4  # a few bytes into record 2's payload
+        with open(results_path, "rb+") as fh:
+            fh.seek(offset)
+            original = fh.read(2)
+            fh.seek(offset)
+            fh.write(bytes(b ^ 0xFF for b in original))
+
+        with self._service(state_dir) as warm:
+            assert warm.stats()["restored_results"] == 1
+            assert warm.solve(graphs[0], self.K).stats.cache_hit
+            assert not warm.solve(graphs[1], self.K).stats.cache_hit
+        # replay truncated the file back to its valid prefix + the re-solves
+        assert not read_records(results_path).damaged
+
+    def test_sigkill_mid_decomposed_solve_resumes_exactly(self, state_dir):
+        """The acceptance bar: kill -9 a checkpointing solve, restart, resume.
+
+        A forked child runs the solve with a kill rule pinned to the 31st
+        checkpoint append, so it dies with exactly 30 completed anchors
+        durable in the journal.  The restarted service must execute only the
+        unfinished anchors and still produce the sequential answer
+        bit-identically.
+        """
+        import multiprocessing
+
+        hard = gnp_random_graph(90, 0.3, seed=7)
+        digest = hard.content_digest()
+        expected = KDCSolver(self.CONFIG).solve(hard, self.K)
+        state = state_dir
+
+        def crashing_child():
+            FaultInjector().add(
+                "checkpoint.append", kill=True, times=1, match={"count": 30}
+            ).install()
+            service = self._service(state)
+            service.solve(hard, self.K)  # never returns: SIGKILL mid-loop
+
+        child = multiprocessing.get_context("fork").Process(target=crashing_child)
+        child.start()
+        child.join(timeout=120)
+        assert child.exitcode == -9, f"child should die by SIGKILL, got {child.exitcode}"
+
+        persistence = self._persistence(state_dir)
+        assert os.listdir(persistence.checkpoints_dir), (
+            "the killed solve must leave its checkpoint journal behind"
+        )
+
+        with self._service(state_dir) as warm:
+            # the graph snapshot survived the kill: the digest is known
+            assert warm.store.stats()["restored_graphs"] == 1
+            resumed = warm.submit(digest, self.K).result(timeout=300)
+            assert resumed.optimal
+            assert resumed.clique == expected.clique  # bit-identical, not just same size
+            assert resumed.stats.subproblems_restored == 30
+            # only the unfinished anchors ran; the anchor count is conserved
+            assert resumed.stats.subproblems < expected.stats.subproblems
+            assert resumed.stats.nodes < expected.stats.nodes
+            assert (
+                resumed.stats.subproblems_restored
+                + resumed.stats.subproblems
+                + resumed.stats.subproblems_pruned
+                == expected.stats.subproblems + expected.stats.subproblems_pruned
+            )
+        # the completed solve retired its journal
+        assert os.listdir(persistence.checkpoints_dir) == []
+
+    def test_resumed_service_solve_after_clean_interrupt(self, state_dir):
+        """A budget-interrupted service solve leaves a journal the retry consumes."""
+        hard = gnp_random_graph(90, 0.3, seed=7)
+        expected = KDCSolver(self.CONFIG).solve(hard, self.K)
+        with self._service(state_dir) as service:
+            digest = service.store.add(hard)
+            partial = service.solve(digest, self.K, node_limit=expected.stats.nodes // 3)
+            assert not partial.optimal
+            # the interrupted (non-optimal) solve kept its checkpoint...
+            full = service.solve(digest, self.K)
+            assert full.optimal
+            assert full.clique == expected.clique
+            assert full.stats.subproblems_restored > 0
 
 
 class TestPostChaosDifferential:
