@@ -19,6 +19,8 @@ Package layout
   brute-force reference solvers;
 * :mod:`repro.extensions` — top-r and diversified variants (paper Section 6);
 * :mod:`repro.analysis` — properties of maximum k-defective cliques;
+* :mod:`repro.dynamic` — edge-delta updates, incremental re-solve, and
+  temporal graph streams;
 * :mod:`repro.datasets` — synthetic benchmark collections;
 * :mod:`repro.bench` — experiment drivers for every table and figure.
 """
@@ -47,6 +49,12 @@ from .core import (
     missing_edge_count,
     sigma,
     variant_config,
+)
+from .dynamic import (
+    EdgeDelta,
+    IncrementalSolver,
+    TemporalGraph,
+    apply_delta,
 )
 from .exceptions import (
     BudgetExceededError,
@@ -94,6 +102,11 @@ __all__ = [
     "maximum_clique",
     "maximum_clique_size",
     "brute_force_maximum_defective_clique",
+    # dynamic graphs
+    "EdgeDelta",
+    "IncrementalSolver",
+    "TemporalGraph",
+    "apply_delta",
     # extensions
     "enumerate_maximal_defective_cliques",
     "top_r_maximal_defective_cliques",

@@ -29,6 +29,12 @@ node throughput (nodes / elapsed second), and flags any cell whose median
 dropped by more than ``threshold`` (default 20%).  ``repro experiments
 compare`` turns a flagged report into a non-zero exit code, which is what
 the CI ``perf-gate`` job enforces.
+
+For ad-hoc analysis, :func:`query_store` runs read-only SQL (the database
+is opened in SQLite's ``mode=ro``; only ``SELECT``/``WITH``/``EXPLAIN``
+statements are admitted) and :data:`CANNED_REPORTS` names a few prepared
+trend queries — ``repro experiments query`` exposes both with table or CSV
+output.
 """
 
 from __future__ import annotations
@@ -49,10 +55,12 @@ from ..exceptions import InvalidParameterError
 __all__ = [
     "KEYFIELDS",
     "RESULTFIELDS",
+    "CANNED_REPORTS",
     "ExperimentStore",
     "CellComparison",
     "ComparisonReport",
     "compare_runs",
+    "query_store",
     "split_record",
 ]
 
@@ -571,3 +579,102 @@ def compare_runs(
             )
         )
     return report
+
+
+# --------------------------------------------------------------------------- #
+# Read-only querying (``repro experiments query``)
+# --------------------------------------------------------------------------- #
+
+#: Canned trend reports keyed by name: ``(description, sql)``.  Each is a
+#: plain read-only SELECT against the schema above, runnable as
+#: ``repro experiments query --report <name>``.
+CANNED_REPORTS: Dict[str, Tuple[str, str]] = {
+    "runs": (
+        "every recorded run: label, status, git SHA, cell count",
+        """
+        SELECT r.run_id, r.label, r.status, r.git_sha,
+               datetime(r.started_unix, 'unixepoch') AS started,
+               COUNT(e.experiment_id) AS cells
+        FROM runs r LEFT JOIN experiments e USING (run_id)
+        GROUP BY r.run_id
+        ORDER BY r.started_unix
+        """,
+    ),
+    "throughput-trend": (
+        "median-free throughput trajectory: per run and (backend, engine) cell",
+        """
+        SELECT r.run_id, r.label,
+               datetime(r.started_unix, 'unixepoch') AS started,
+               e.backend, e.engine,
+               COUNT(*) AS cells,
+               AVG(e.node_throughput) AS avg_node_throughput
+        FROM experiments e JOIN runs r USING (run_id)
+        WHERE e.node_throughput IS NOT NULL AND e.node_throughput > 0
+              AND (e.cache_hit IS NULL OR e.cache_hit = 0)
+        GROUP BY r.run_id, e.backend, e.engine
+        ORDER BY r.started_unix, e.backend, e.engine
+        """,
+    ),
+    "solved-by-k": (
+        "optimally solved cell counts and mean solve time, grouped by k",
+        """
+        SELECT e.k, e.algorithm,
+               COUNT(*) AS cells,
+               SUM(COALESCE(e.optimal, 0)) AS solved,
+               AVG(e.elapsed_seconds) AS avg_elapsed_seconds
+        FROM experiments e
+        GROUP BY e.k, e.algorithm
+        ORDER BY e.k, e.algorithm
+        """,
+    ),
+    "slowest": (
+        "the 20 slowest solved cells across all runs",
+        """
+        SELECT e.run_id, e.collection, e.instance, e.k, e.algorithm,
+               e.backend, e.engine, e.workers, e.nodes, e.elapsed_seconds
+        FROM experiments e
+        WHERE e.elapsed_seconds IS NOT NULL
+        ORDER BY e.elapsed_seconds DESC
+        LIMIT 20
+        """,
+    ),
+}
+
+#: First keywords of statements :func:`query_store` admits.
+_READONLY_KEYWORDS = ("select", "with", "explain")
+
+
+def query_store(
+    path: str, sql: str, params: Sequence[object] = ()
+) -> Tuple[List[str], List[Tuple[object, ...]]]:
+    """Run one read-only SQL statement against an experiment store.
+
+    Returns ``(column_names, rows)``.  The database is opened through a
+    ``mode=ro`` SQLite URI, so even a hostile statement cannot write, and
+    the statement must start with ``SELECT``/``WITH``/``EXPLAIN`` — this is
+    an analysis surface, not an administration one.
+
+    Raises :class:`~repro.exceptions.InvalidParameterError` for a missing
+    file or a non-query statement, and lets :class:`sqlite3.Error` propagate
+    for SQL mistakes (the CLI renders those as ordinary errors).
+    """
+    statement = sql.strip().rstrip(";")
+    if not statement:
+        raise InvalidParameterError("empty SQL statement")
+    first = statement.split(None, 1)[0].lower()
+    if first not in _READONLY_KEYWORDS:
+        raise InvalidParameterError(
+            f"only read-only queries are allowed ({'/'.join(_READONLY_KEYWORDS)}); "
+            f"got a statement starting with {first!r}"
+        )
+    if not os.path.exists(path):
+        raise InvalidParameterError(f"experiment store not found: {path}")
+    uri = f"file:{path}?mode=ro"
+    conn = sqlite3.connect(uri, uri=True)
+    try:
+        cursor = conn.execute(statement, tuple(params))
+        headers = [col[0] for col in cursor.description or ()]
+        rows = [tuple(row) for row in cursor.fetchall()]
+    finally:
+        conn.close()
+    return headers, rows

@@ -18,14 +18,20 @@ Sub-commands
   per-cell checkpoints (interrupted campaigns resume), ``experiments
   compare`` diffs a fresh run against the stored trajectory and exits
   non-zero on a >20% median node-throughput regression in any
-  (backend, engine) cell, and ``experiments export`` dumps a run as JSON;
+  (backend, engine) cell, ``experiments export`` dumps a run as JSON, and
+  ``experiments query`` runs read-only SQL (or a canned trend report such
+  as ``--report throughput-trend``) with table or CSV output;
 * ``stats``       — print structural statistics of a graph file;
 * ``generate``    — write a synthetic collection to disk as edge-list files;
 * ``gamma``       — print the theoretical branching factors γ_k and σ_k;
 * ``serve``       — run a long-lived solver service speaking a JSON-lines
   TCP protocol (graphs are prepared once and cached by content digest;
   repeated queries are answered from a result cache — see
-  :mod:`repro.service`).
+  :mod:`repro.service`);
+* ``mutate``      — apply an edge delta (``--add U V`` / ``--remove U V``)
+  to a graph stored in a running service; the successor becomes a
+  first-class stored graph whose solves are answered incrementally from
+  the predecessor's solve when possible (see :mod:`repro.dynamic`).
 
 Failures surface as a one-line ``error: ...`` message on stderr and a
 non-zero exit code instead of a traceback.
@@ -221,6 +227,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     exp_export.add_argument("--out", default=None, help="output file (default: stdout)")
 
+    exp_query = exp_sub.add_parser(
+        "query",
+        help="run read-only SQL (or a canned trend report) against the "
+        "experiment store and print a table or CSV",
+    )
+    exp_query.add_argument("--db", default="experiments.sqlite", help="experiment store file")
+    exp_query.add_argument(
+        "sql",
+        nargs="?",
+        default=None,
+        help="a read-only SQL statement (SELECT/WITH/EXPLAIN); "
+        "omit when using --report",
+    )
+    exp_query.add_argument(
+        "--report",
+        default=None,
+        metavar="NAME",
+        help="run a canned report instead of raw SQL; use --report list to "
+        "see the available reports",
+    )
+    exp_query.add_argument(
+        "--csv", action="store_true", help="emit CSV instead of an aligned table"
+    )
+
     stats = subparsers.add_parser("stats", help="print structural statistics of a graph file")
     stats.add_argument("path")
     stats.add_argument("--format", default="auto", choices=["auto", "edgelist", "dimacs", "metis"])
@@ -312,6 +342,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="format of the --preload files",
     )
 
+    mutate = subparsers.add_parser(
+        "mutate",
+        help="apply an edge delta to a graph stored in a running service",
+    )
+    mutate.add_argument(
+        "graph",
+        help="predecessor graph: a content digest or a stored name",
+    )
+    mutate.add_argument("--host", default="127.0.0.1", help="service address (default 127.0.0.1)")
+    mutate.add_argument("--port", type=int, default=7317, help="service port (default 7317)")
+    mutate.add_argument(
+        "--add",
+        action="append",
+        nargs=2,
+        default=[],
+        metavar=("U", "V"),
+        help="edge to add (repeatable)",
+    )
+    mutate.add_argument(
+        "--remove",
+        action="append",
+        nargs=2,
+        default=[],
+        metavar=("U", "V"),
+        help="edge to remove (repeatable)",
+    )
+    mutate.add_argument(
+        "--name",
+        default=None,
+        help="optional name for the successor graph (a stream of mutations "
+        "can keep one stable name)",
+    )
+    mutate.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="socket timeout in seconds (default 30)",
+    )
+
     return parser
 
 
@@ -384,6 +453,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         return _cmd_experiments_compare(args)
     if args.name == "export":
         return _cmd_experiments_export(args)
+    if args.name == "query":
+        return _cmd_experiments_query(args)
     kwargs = {"scale": args.scale}
     if args.time_limit is not None:
         kwargs["time_limit"] = args.time_limit
@@ -493,6 +564,65 @@ def _cmd_experiments_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_experiments_query(args: argparse.Namespace) -> int:
+    import sqlite3
+
+    from .bench.store import CANNED_REPORTS, query_store
+
+    if args.report == "list" or (args.report is None and args.sql is None):
+        print(format_table(
+            ["report", "description"],
+            [(name, desc) for name, (desc, _) in sorted(CANNED_REPORTS.items())],
+            title="canned reports (repro experiments query --report NAME)",
+        ))
+        return 0
+    if args.report is not None and args.sql is not None:
+        raise ReproError("pass either raw SQL or --report, not both")
+    if args.report is not None:
+        if args.report not in CANNED_REPORTS:
+            known = ", ".join(sorted(CANNED_REPORTS))
+            raise ReproError(f"unknown report {args.report!r}; known reports: {known}")
+        sql = CANNED_REPORTS[args.report][1]
+    else:
+        sql = args.sql
+    try:
+        headers, rows = query_store(args.db, sql)
+    except sqlite3.Error as exc:
+        raise ReproError(f"SQL error: {exc}") from exc
+    if args.csv:
+        import csv
+
+        writer = csv.writer(sys.stdout)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    else:
+        print(format_table(headers, rows))
+        print(f"({len(rows)} row{'s' if len(rows) != 1 else ''})")
+    return 0
+
+
+def _cmd_mutate(args: argparse.Namespace) -> int:
+    from .service.client import Client
+
+    def vertex(token: str):
+        try:
+            return int(token)
+        except ValueError:
+            return token
+
+    adds = [(vertex(u), vertex(v)) for u, v in args.add]
+    removes = [(vertex(u), vertex(v)) for u, v in args.remove]
+    with Client.connect(args.host, args.port, timeout=args.timeout) as client:
+        reply = client.mutate(args.graph, adds=adds, removes=removes, name=args.name)
+    print(
+        f"mutated {args.graph}: +{reply['adds']} -{reply['removes']} edges"
+        f" -> n={reply['n']} m={reply['m']}"
+    )
+    print(f"digest: {reply['digest']}")
+    print(f"parent: {reply['parent']}")
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     graph = load_graph(args.path, fmt=args.format)
     summary = graph_stats(graph)
@@ -581,6 +711,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "gamma": _cmd_gamma,
     "serve": _cmd_serve,
+    "mutate": _cmd_mutate,
 }
 
 

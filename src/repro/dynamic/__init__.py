@@ -1,0 +1,36 @@
+"""Dynamic-graph subsystem: edge deltas, incremental re-solve, temporal streams.
+
+Static solves treat a graph as immutable; this package makes the solver
+*incremental* across edge mutations:
+
+- :mod:`repro.dynamic.delta` — validated :class:`EdgeDelta` batches,
+  successor construction (:func:`apply_delta`) and the affected-anchor
+  analysis (:func:`affected_anchors`) that bounds which ego subproblems a
+  delta can invalidate.
+- :mod:`repro.dynamic.incremental` — :class:`IncrementalSolver`, an exact
+  solver that re-runs only affected subproblems per delta, carrying the
+  rest over through the :class:`~repro.core.checkpoint.SolveCheckpoint`
+  journal contract.
+- :mod:`repro.dynamic.temporal` — :class:`TemporalGraph`, a timestamped
+  delta stream with deterministic snapshot replay.
+
+The service layer exposes the same machinery over the wire: the ``mutate``
+request (see :mod:`repro.service.server`) applies a delta to a stored
+graph, and :class:`~repro.service.scheduler.SolverService` routes solves on
+mutated graphs through an :class:`IncrementalSolver` when a predecessor
+solve is available.
+"""
+
+from .delta import EdgeDelta, affected_anchors, apply_delta
+from .incremental import DeltaSolveReport, IncrementalSolver
+from .temporal import TemporalGraph, TemporalStep
+
+__all__ = [
+    "DeltaSolveReport",
+    "EdgeDelta",
+    "IncrementalSolver",
+    "TemporalGraph",
+    "TemporalStep",
+    "affected_anchors",
+    "apply_delta",
+]

@@ -38,6 +38,16 @@ atomic snapshots plus a checksummed write-ahead journal, while decomposed
 solves checkpoint per-subproblem progress
 (:mod:`repro.core.checkpoint`) so a killed solve resumes instead of
 restarting.
+
+Graphs are also *dynamic*: the ``mutate`` op (``Client.mutate``) applies a
+validated :class:`~repro.dynamic.delta.EdgeDelta` to a stored graph,
+storing the successor under its own digest with a parent link (the chain is
+WAL-journaled, so ``--state-dir`` restarts keep it), and the scheduler
+answers solves on mutated graphs through an
+:class:`~repro.dynamic.incremental.IncrementalSolver` — re-running only the
+ego subproblems the deltas can have invalidated, exactly
+(``stats()``: ``incremental_hits`` / ``anchors_reused`` /
+``anchors_resolved``).
 """
 
 from .client import Client

@@ -229,6 +229,34 @@ class Client:
             payload["name"] = name
         return self._checked(payload)["digest"]
 
+    def mutate(
+        self,
+        graph: str,
+        adds: Sequence[Tuple] = (),
+        removes: Sequence[Tuple] = (),
+        *,
+        name: Optional[str] = None,
+    ) -> Dict:
+        """Apply an edge delta to a stored graph; return the mutate reply.
+
+        ``graph`` is the predecessor's digest or name.  The reply carries
+        the successor's ``digest`` (a first-class stored graph — solve it
+        like any other; the service answers incrementally from the
+        predecessor's solve when it can), its ``parent`` digest, and the
+        successor's ``n``/``m``.  ``name`` optionally labels the successor,
+        so a stream of mutations can keep one stable name whose latest
+        bearer :meth:`mutate` resolves each time.
+        """
+        payload: Dict = {
+            "op": "mutate",
+            "graph": graph,
+            "adds": [list(e) for e in adds],
+            "removes": [list(e) for e in removes],
+        }
+        if name is not None:
+            payload["name"] = name
+        return self._checked(payload)
+
     def solve(
         self,
         digest: str,

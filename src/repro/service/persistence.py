@@ -25,6 +25,16 @@ pattern:
     journal survives a crash, is consumed by the resumed solve, and is
     deleted when the solve completes optimally.
 
+``deltas.wal``
+    A **checksummed append-only journal** of edge-delta mutations (one
+    pickled ``(parent_digest, child_digest, name, adds, removes)`` per
+    record, fsynced per append).  Replayed on startup by
+    :class:`~repro.service.store.GraphStore` to re-link the digest chain —
+    and to rebuild any successor graph whose own snapshot a crash cut off,
+    since the WAL is append-ordered and a whole chain re-materializes from
+    one surviving ancestor snapshot.  Same damaged-tail truncation policy
+    as ``results.wal``.
+
 Every load path is defensive: an unreadable snapshot or journal entry is
 skipped with a warning — durable state accelerates a restart, it must never
 prevent one.  Write paths *raise* (the callers in
@@ -86,11 +96,14 @@ class ServicePersistence:
         self.prepared_dir = os.path.join(root, "prepared")
         self.checkpoints_dir = os.path.join(root, "checkpoints")
         self.results_path = os.path.join(root, "results.wal")
+        self.deltas_path = os.path.join(root, "deltas.wal")
         for directory in (self.graphs_dir, self.prepared_dir, self.checkpoints_dir):
             os.makedirs(directory, exist_ok=True)
         self._lock = threading.Lock()
         self._results_fh = None
         self._results_validated = False
+        self._deltas_fh = None
+        self._deltas_validated = False
         #: Solve-identity tokens with a live checkpoint handle: two
         #: concurrent solves of the same identity (same digest/k/config but
         #: e.g. different budgets, so they do not coalesce upstream) must
@@ -225,6 +238,61 @@ class ServicePersistence:
             self._results_validated = True
 
     # ------------------------------------------------------------------ #
+    # Edge-delta journal
+    # ------------------------------------------------------------------ #
+    def replay_deltas(self) -> List[Tuple[str, str, Optional[str], Tuple, Tuple]]:
+        """Replay the delta journal, truncating any damaged tail.
+
+        Yields ``(parent_digest, child_digest, name, adds, removes)`` in
+        append (i.e. mutation) order; unreadable records within the valid
+        prefix are skipped with a warning.
+        """
+        with self._lock:
+            scan = read_records(self.deltas_path)
+            if scan.damaged:
+                try:
+                    with open(self.deltas_path, "rb+") as fh:
+                        fh.truncate(scan.valid_bytes)
+                except OSError as exc:
+                    logger.warning(
+                        "could not truncate damaged delta journal %s: %s",
+                        self.deltas_path, exc,
+                    )
+            self._deltas_validated = True
+        entries: List[Tuple[str, str, Optional[str], Tuple, Tuple]] = []
+        for raw in scan.records:
+            try:
+                parent, child, name, adds, removes = pickle.loads(raw)
+            except Exception as exc:
+                logger.warning("skipping unreadable delta-journal record: %s", exc)
+                continue
+            entries.append((parent, child, name, tuple(adds), tuple(removes)))
+        return entries
+
+    def append_delta(self, parent: str, child: str, name: Optional[str], delta) -> None:
+        """Append one mutation link to the delta journal (fsynced)."""
+        with self._lock:
+            if self._closed:
+                return
+            if not self._deltas_validated:
+                scan = read_records(self.deltas_path)
+                if scan.damaged:
+                    with open(self.deltas_path, "rb+") as fh:
+                        fh.truncate(scan.valid_bytes)
+                self._deltas_validated = True
+            if self._deltas_fh is None:
+                self._deltas_fh = open(self.deltas_path, "ab")
+            append_record(
+                self._deltas_fh,
+                pickle.dumps(
+                    (parent, child, name, tuple(delta.adds), tuple(delta.removes)),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                ),
+            )
+            self._deltas_fh.flush()
+            os.fsync(self._deltas_fh.fileno())
+
+    # ------------------------------------------------------------------ #
     # Solve checkpoints
     # ------------------------------------------------------------------ #
     def open_checkpoint(
@@ -259,14 +327,17 @@ class ServicePersistence:
         """Flush and close the journal handle (snapshots need no teardown)."""
         with self._lock:
             self._closed = True
-            if self._results_fh is not None:
+            for attr in ("_results_fh", "_deltas_fh"):
+                fh = getattr(self, attr)
+                if fh is None:
+                    continue
                 try:
-                    self._results_fh.flush()
-                    os.fsync(self._results_fh.fileno())
+                    fh.flush()
+                    os.fsync(fh.fileno())
                 except OSError:
                     pass
                 try:
-                    self._results_fh.close()
+                    fh.close()
                 except OSError:
                     pass
-                self._results_fh = None
+                setattr(self, attr, None)

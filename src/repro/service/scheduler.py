@@ -64,11 +64,14 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple, Union
 from ..core.config import VARIANT_NAMES, SolverConfig, variant_config
 from ..core.result import SolveResult
 from ..core.solver import KDCSolver
+from ..dynamic.delta import EdgeDelta
+from ..dynamic.incremental import IncrementalSolver
 from ..exceptions import (
     DeadlineExceededError,
     InvalidParameterError,
     ServiceClosedError,
     ServiceOverloadedError,
+    UnknownGraphError,
 )
 from ..graphs.graph import Graph
 from ..testing import chaos as faults
@@ -96,6 +99,11 @@ _RequestKey = Tuple[str, int, str, Optional[float], Optional[int], Optional[floa
 #: Fallback per-solve seconds estimate for ``retry_after`` before the EWMA
 #: has seen a completed solve.
 _DEFAULT_SOLVE_ESTIMATE_SECONDS = 0.2
+
+#: LRU cap on per-``(k, algorithm)`` incremental-solver states.  Each state
+#: holds two copies of one graph plus its decomposition — a handful of hot
+#: query shapes is the working set worth that footprint.
+_MAX_DYNAMIC_STATES = 8
 
 #: Smoothing factor of the solve-time EWMA behind ``retry_after``.
 _EWMA_ALPHA = 0.2
@@ -209,6 +217,13 @@ class SolverService:
         self._inflight: Dict[_RequestKey, "Future[SolveResult]"] = {}
         self._tracked: Set[_Tracked] = set()
         self._watchdog: Optional[threading.Thread] = None
+        # Incremental solving over mutated graphs: one IncrementalSolver per
+        # hot (k, algorithm) shape, advanced delta-by-delta when a solve
+        # targets a descendant of its tracked digest.  Guarded by its own
+        # lock so a (potentially long) incremental re-solve never blocks
+        # submissions, stats or the watchdog.
+        self._dynamic: "OrderedDict[Tuple[int, str], IncrementalSolver]" = OrderedDict()
+        self._dynamic_lock = threading.Lock()
         self._requests = 0
         self._solves = 0
         self._cache_hits = 0
@@ -219,6 +234,9 @@ class SolverService:
         self._drain_cancelled = 0
         self._result_evictions = 0
         self._restored_results = 0
+        self._incremental_hits = 0
+        self._anchors_reused = 0
+        self._anchors_resolved = 0
         self._ewma_solve_seconds = 0.0
         self._ewma_updated = time.monotonic()
         self._closed = False
@@ -376,6 +394,44 @@ class SolverService:
                 self._deadline_cond.notify_all()
         entry.inner.add_done_callback(lambda inner: self._settle(entry, request_key, inner))
         return entry.outer
+
+    def mutate(
+        self,
+        ref: str,
+        adds=(),
+        removes=(),
+        name: Optional[str] = None,
+    ) -> Dict[str, object]:
+        """Apply an edge delta to a stored graph; return the successor's info.
+
+        ``ref`` is a digest or a graph name (see
+        :meth:`GraphStore.resolve`).  The successor is stored under its own
+        content digest with a parent link, so a later solve of it can be
+        answered incrementally from the predecessor's solve.  Returns
+        ``{"digest", "parent", "n", "m", "adds", "removes"}``.
+
+        Raises :class:`~repro.exceptions.UnknownGraphError` for an unknown
+        ``ref``, the delta's own validation errors
+        (:class:`~repro.exceptions.InvalidParameterError`,
+        :class:`~repro.exceptions.EdgeNotFoundError`,
+        :class:`~repro.exceptions.SelfLoopError`) when it does not describe
+        a real transition, and :class:`ServiceClosedError` after close.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError()
+        digest = self.store.resolve(ref)
+        delta = EdgeDelta(adds=adds, removes=removes)
+        successor = self.store.apply_delta(digest, delta, name=name)
+        graph = self.store.get(successor)
+        return {
+            "digest": successor,
+            "parent": digest,
+            "n": graph.num_vertices,
+            "m": graph.num_edges,
+            "adds": len(delta.adds),
+            "removes": len(delta.removes),
+        }
 
     def solve(
         self,
@@ -538,63 +594,73 @@ class SolverService:
                 "deadline expired while the request was queued; cancelled before execution"
             )
         solver = self._solver_for(algorithm)
-        prepared = self.store.prepared(digest, k, solver.config)
-        prepare_ms = (time.perf_counter() - started) * 1000.0
+        prepare_ms = 0.0
+        result = self._incremental_result(
+            entry, digest, k, algorithm, time_limit, deadline_at
+        )
+        if result is None:
+            prepared = self.store.prepared(digest, k, solver.config)
+            prepare_ms = (time.perf_counter() - started) * 1000.0
 
-        effective_limit = time_limit
-        deadline_bound = False
-        if deadline_at is not None:
-            remaining = deadline_at - time.monotonic()
-            if remaining <= 0:
-                raise DeadlineExceededError(
-                    f"deadline of {deadline:.3f}s expired during preparation"
-                )
-            if effective_limit is None or remaining < effective_limit:
-                effective_limit = remaining
-                deadline_bound = True
-        faults.fire("scheduler.solve", digest=digest, k=k)
-        checkpoint = None
-        if self._persistence is not None:
-            # Best-effort: a solve that cannot checkpoint (journal owned by
-            # a concurrent identical solve, unwritable state dir) still runs
-            # — it just cannot be resumed if interrupted.
+            effective_limit = time_limit
+            deadline_bound = False
+            if deadline_at is not None:
+                remaining = deadline_at - time.monotonic()
+                if remaining <= 0:
+                    raise DeadlineExceededError(
+                        f"deadline of {deadline:.3f}s expired during preparation"
+                    )
+                if effective_limit is None or remaining < effective_limit:
+                    effective_limit = remaining
+                    deadline_bound = True
+            faults.fire("scheduler.solve", digest=digest, k=k)
+            checkpoint = None
+            if self._persistence is not None:
+                # Best-effort: a solve that cannot checkpoint (journal owned by
+                # a concurrent identical solve, unwritable state dir) still runs
+                # — it just cannot be resumed if interrupted.
+                try:
+                    checkpoint = self._persistence.open_checkpoint(
+                        digest, k, algorithm, solver.config
+                    )
+                except Exception:
+                    logger.warning("opening solve checkpoint failed (digest=%s k=%d)",
+                                   digest[:12], k, exc_info=True)
             try:
-                checkpoint = self._persistence.open_checkpoint(
-                    digest, k, algorithm, solver.config
+                result = solver.solve_prepared(
+                    prepared, k,
+                    time_limit=effective_limit, node_limit=node_limit, cancel=entry.cancel,
+                    checkpoint=checkpoint,
                 )
-            except Exception:
-                logger.warning("opening solve checkpoint failed (digest=%s k=%d)",
-                               digest[:12], k, exc_info=True)
-        try:
-            result = solver.solve_prepared(
-                prepared, k,
-                time_limit=effective_limit, node_limit=node_limit, cancel=entry.cancel,
-                checkpoint=checkpoint,
-            )
-        except BaseException:
-            # Keep the journal: whatever the solve recorded before crashing
-            # is exactly what a retry or a restart resumes from.
+            except BaseException:
+                # Keep the journal: whatever the solve recorded before crashing
+                # is exactly what a retry or a restart resumes from.
+                if checkpoint is not None:
+                    checkpoint.close()
+                raise
             if checkpoint is not None:
-                checkpoint.close()
-            raise
-        if checkpoint is not None:
-            # Optimal answers retire the journal; interrupted ones (budget,
-            # deadline clamp, drain cancel) keep it for the resume.
+                # Optimal answers retire the journal; interrupted ones (budget,
+                # deadline clamp, drain cancel) keep it for the resume.
+                if result.optimal:
+                    checkpoint.complete()
+                else:
+                    checkpoint.close()
+            if not result.optimal and not entry.cancel.is_set():
+                # A drain-cancelled solve answers with its partial result; a
+                # deadline-clamped one reports the miss as a typed error.  A miss
+                # of the caller's own time/node budget keeps the partial-result
+                # contract it always had.
+                node_budget_hit = node_limit is not None and result.stats.nodes >= node_limit
+                if deadline_bound and not node_budget_hit:
+                    raise DeadlineExceededError(
+                        f"deadline of {deadline:.3f}s exceeded during solve "
+                        f"(best size so far: {result.size})"
+                    )
             if result.optimal:
-                checkpoint.complete()
-            else:
-                checkpoint.close()
-        if not result.optimal and not entry.cancel.is_set():
-            # A drain-cancelled solve answers with its partial result; a
-            # deadline-clamped one reports the miss as a typed error.  A miss
-            # of the caller's own time/node budget keeps the partial-result
-            # contract it always had.
-            node_budget_hit = node_limit is not None and result.stats.nodes >= node_limit
-            if deadline_bound and not node_budget_hit:
-                raise DeadlineExceededError(
-                    f"deadline of {deadline:.3f}s exceeded during solve "
-                    f"(best size so far: {result.size})"
-                )
+                # A fresh optimal solve (re-)anchors the incremental state for
+                # this (k, algorithm) shape, so later solves of this graph's
+                # mutations go through the delta route.
+                self._seed_dynamic(digest, k, algorithm, result)
         result.stats.queue_ms = (started - submitted) * 1000.0
         result.stats.prepare_ms = prepare_ms
         wal_entry: Optional[Tuple[_ResultKey, SolveResult]] = None
@@ -631,6 +697,100 @@ class SolverService:
                 logger.warning("journaling optimal result failed (digest=%s k=%d)",
                                digest[:12], k, exc_info=True)
         return result
+
+    # ------------------------------------------------------------------ #
+    # Incremental solving over mutated graphs
+    # ------------------------------------------------------------------ #
+    def _incremental_result(
+        self,
+        entry: _Tracked,
+        digest: str,
+        k: int,
+        algorithm: str,
+        time_limit: Optional[float],
+        deadline_at: Optional[float],
+    ) -> Optional[SolveResult]:
+        """Answer via the delta route when a predecessor solve is available.
+
+        Walks the store's digest chain from this ``(k, algorithm)`` shape's
+        tracked snapshot to ``digest``, applying each delta through the
+        :class:`IncrementalSolver`.  Returns ``None`` whenever the route
+        does not apply or anything goes wrong — the caller falls back to
+        the ordinary prepared/solve path, so this is an accelerator, never
+        a correctness dependency.  Exercised (and failure-injected) via the
+        ``dynamic.resolve`` chaos point.
+        """
+        with self._dynamic_lock:
+            state = self._dynamic.get((k, algorithm))
+            if state is None or state.digest == digest:
+                return None
+            chain = self.store.delta_chain(state.digest, digest)
+            if not chain:
+                return None
+            reused = 0
+            resolved = 0
+            try:
+                faults.fire("dynamic.resolve", digest=digest, k=k,
+                            algorithm=algorithm, steps=len(chain))
+                report = None
+                for _, delta in chain:
+                    step_limit = time_limit
+                    if deadline_at is not None:
+                        remaining = deadline_at - time.monotonic()
+                        if remaining <= 0:
+                            return None  # normal path raises the typed error
+                        if step_limit is None or remaining < step_limit:
+                            step_limit = remaining
+                    report = state.apply(
+                        delta, time_limit=step_limit, cancel=entry.cancel
+                    )
+                    reused += report.anchors_reused
+                    resolved += report.anchors_resolved
+                if report is None or state.digest != digest or not report.result.optimal:
+                    return None
+            except Exception:
+                logger.warning(
+                    "incremental solve failed (digest=%s k=%d); falling back to full solve",
+                    digest[:12], k, exc_info=True,
+                )
+                return None
+            self._dynamic.move_to_end((k, algorithm))
+        with self._lock:
+            self._incremental_hits += 1
+            self._anchors_reused += reused
+            self._anchors_resolved += resolved
+        # Hand out a private copy: the state keeps its own references alive
+        # across future deltas, and callers may mutate their answers.
+        return self._copy_result(report.result)
+
+    def _seed_dynamic(
+        self, digest: str, k: int, algorithm: str, result: SolveResult
+    ) -> None:
+        """Adopt a fresh optimal result as the incremental epoch (best-effort)."""
+        try:
+            graph = self.store.get(digest)
+        except UnknownGraphError:
+            return
+        try:
+            with self._dynamic_lock:
+                state = self._dynamic.get((k, algorithm))
+                if state is None:
+                    checkpoint_dir = None
+                    if self._persistence is not None:
+                        checkpoint_dir = self._persistence.checkpoints_dir
+                    state = IncrementalSolver(
+                        self._solver_for(algorithm).config,
+                        name=algorithm,
+                        checkpoint_dir=checkpoint_dir,
+                    )
+                    self._dynamic[(k, algorithm)] = state
+                state.seed(graph, k, result)
+                self._dynamic.move_to_end((k, algorithm))
+                while len(self._dynamic) > _MAX_DYNAMIC_STATES:
+                    self._dynamic.popitem(last=False)
+        except Exception:
+            logger.warning("seeding incremental state failed (digest=%s k=%d)",
+                           digest[:12], k, exc_info=True)
 
     @staticmethod
     def _copy_result(result: SolveResult) -> SolveResult:
@@ -688,6 +848,9 @@ class SolverService:
                 "result_cache_entries": len(self._results),
                 "result_cache_evictions": self._result_evictions,
                 "restored_results": self._restored_results,
+                "incremental_hits": self._incremental_hits,
+                "anchors_reused": self._anchors_reused,
+                "anchors_resolved": self._anchors_resolved,
             }
         data.update(self.store.stats())
         return data

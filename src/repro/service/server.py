@@ -10,6 +10,12 @@ dictionaries with an ``"op"`` field:
 ``{"op": "add-graph", "edges": [[u, v], ...], "vertices": [...], "name": ...}``
     Register a graph; answers its content ``digest``.  ``vertices`` (for
     isolated vertices) and ``name`` are optional.
+``{"op": "mutate", "graph": <digest-or-name>, "adds": [[u, v], ...], "removes": [[u, v], ...], "name": ...}``
+    Apply a validated edge delta to a stored graph; answers the successor's
+    ``digest`` (plus ``parent``, ``n``, ``m``).  The successor is a
+    first-class stored graph with a parent link, so solving it re-uses the
+    predecessor's solve incrementally when one is available.  ``name``
+    optionally labels the successor.
 ``{"op": "solve", "digest": ..., "k": ..., "algorithm": ..., "time_limit": ..., "node_limit": ..., "deadline": ...}``
     Solve one query; answers the clique, size, optimality flag and the full
     request-level statistics (``cache_hit``, ``prepare_ms``, ``queue_ms``,
@@ -97,6 +103,17 @@ def handle_request(service: SolverService, payload: Dict) -> Dict:
                 "n": graph.num_vertices,
                 "m": graph.num_edges,
             }
+        if op == "mutate":
+            ref = payload.get("graph") or payload.get("digest")
+            if not ref:
+                raise ReproError("mutate requires 'graph' (a digest or name)")
+            reply = service.mutate(
+                ref,
+                adds=[tuple(edge) for edge in payload.get("adds") or []],
+                removes=[tuple(edge) for edge in payload.get("removes") or []],
+                name=payload.get("name"),
+            )
+            return {"ok": True, **reply}
         if op == "solve":
             if "digest" not in payload or "k" not in payload:
                 raise ReproError("solve requires 'digest' and 'k'")

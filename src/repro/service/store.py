@@ -43,6 +43,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 from ..core.config import SolverConfig
 from ..core.prepared import PreparedInstance, prepare_instance
+from ..dynamic.delta import EdgeDelta
+from ..dynamic.delta import apply_delta as _apply_edge_delta
 from ..exceptions import InvalidParameterError, UnknownGraphError
 from ..graphs.graph import Graph
 from ..testing import chaos as faults
@@ -94,12 +96,20 @@ class GraphStore:
         self._names: Dict[str, str] = {}
         self._prepared: "OrderedDict[_PreparedKey, PreparedInstance]" = OrderedDict()
         self._inflight: Dict[_PreparedKey, Future] = {}
+        # Digest chain of edge-delta mutations: child digest -> parent digest
+        # (and the delta that produced the child).  Links outlive graph
+        # eviction — they are tiny and let delta_chain() answer even when an
+        # intermediate snapshot has been LRU-evicted.
+        self._parents: Dict[str, str] = {}
+        self._deltas: Dict[str, EdgeDelta] = {}
         self._prepares = 0
         self._prepared_hits = 0
         self._graph_evictions = 0
         self._prepared_evictions = 0
         self._restored_graphs = 0
         self._restored_prepared = 0
+        self._mutations = 0
+        self._restored_deltas = 0
         if persistence is not None:
             self._restore(persistence)
 
@@ -126,9 +136,61 @@ class GraphStore:
                         while len(self._prepared) > self.max_prepared:
                             self._prepared.popitem(last=False)
                             self._prepared_evictions += 1
+                self._restore_deltas_locked(persistence)
         except Exception:
             logger.warning("restoring store state failed; continuing with what loaded",
                            exc_info=True)
+
+    def _restore_deltas_locked(self, persistence: "ServicePersistence") -> None:
+        """Replay the delta WAL: re-link the digest chain and rebuild any
+        successor whose own snapshot never made it to disk.
+
+        The WAL is append-ordered, so a parent record always lands before
+        its children — a whole chain re-materializes from one surviving
+        ancestor snapshot.  A record that does not replay cleanly (digest
+        mismatch, absent parent, invalid payload) is skipped with a warning;
+        a crash mid-mutation therefore degrades to serving the predecessor,
+        never to torn state.
+        """
+        for parent, child, name, adds, removes in persistence.replay_deltas():
+            try:
+                delta = EdgeDelta(adds=adds, removes=removes)
+            except Exception:
+                logger.warning("delta WAL record for %s is invalid; skipped", child[:12])
+                continue
+            if child not in self._graphs:
+                source = self._graphs.get(parent)
+                if source is None:
+                    logger.warning(
+                        "delta WAL parent %s not restored; successor %s unavailable",
+                        parent[:12], child[:12],
+                    )
+                    continue
+                try:
+                    successor, succ_digest = _apply_edge_delta(source, delta)
+                except Exception:
+                    logger.warning("replaying delta onto %s failed; skipped",
+                                   parent[:12], exc_info=True)
+                    continue
+                if succ_digest != child:
+                    logger.warning(
+                        "replayed delta digest %s does not match WAL record %s; skipped",
+                        succ_digest[:12], child[:12],
+                    )
+                    continue
+                self._graphs[child] = successor
+                if name:
+                    self._names[child] = name
+                self._evict_graphs_locked()
+            else:
+                # Snapshots restore in filesystem order; the WAL holds the
+                # true mutation order.  Re-touch each child as it replays so
+                # "most recently touched bearer of a name" resolves to the
+                # chain tip again after a restart.
+                self._graphs.move_to_end(child)
+            self._parents[child] = parent
+            self._deltas[child] = delta
+            self._restored_deltas += 1
 
     # ------------------------------------------------------------------ #
     # Graphs
@@ -197,6 +259,119 @@ class GraphStore:
         """Return ``{digest: name}`` for every stored graph (unnamed -> ``""``)."""
         with self._lock:
             return {d: self._names.get(d, "") for d in self._graphs}
+
+    def resolve(self, ref: str) -> str:
+        """Resolve a digest *or* a human-readable name to a stored digest.
+
+        A digest match wins; otherwise a name carried by exactly one current
+        graph resolves to it (among several bearers — names are labels, not
+        keys — the most recently touched one wins, which for a mutate-by-name
+        stream is the latest successor).  Anything else raises
+        :class:`~repro.exceptions.UnknownGraphError`.
+        """
+        with self._lock:
+            if ref in self._graphs:
+                return ref
+            match: Optional[str] = None
+            for digest in self._graphs:  # OrderedDict: oldest -> newest
+                if self._names.get(digest) == ref:
+                    match = digest
+        if match is None:
+            raise UnknownGraphError(ref)
+        return match
+
+    # ------------------------------------------------------------------ #
+    # Edge-delta mutations
+    # ------------------------------------------------------------------ #
+    def apply_delta(
+        self, digest: str, delta: EdgeDelta, name: Optional[str] = None
+    ) -> str:
+        """Apply ``delta`` to the stored graph ``digest``; return the successor digest.
+
+        The successor is stored as a first-class graph under its own content
+        digest with a ``parent_digest`` link back to the predecessor, and
+        the delta is WAL-journaled through the attached persistence (if any)
+        so a ``--state-dir`` restart keeps the digest chain.  The
+        predecessor stays untouched and servable: mutation is copy-on-write,
+        and everything observable — in-memory publish included — happens
+        only after the successor is fully built, so a crash mid-mutation
+        (exercised via the ``dynamic.apply`` chaos point) leaves the store
+        exactly as it was.
+
+        With ``max_prepared`` set, the predecessor's prepared artifacts are
+        dropped eagerly — a mutated-away snapshot is the coldest thing in
+        the cache, and the freed slots go to its successors.
+        """
+        with self._lock:
+            source = self._graphs.get(digest)
+            if source is not None:
+                self._graphs.move_to_end(digest)
+        if source is None:
+            raise UnknownGraphError(digest)
+        # The store's graphs are never mutated in place, so reading `source`
+        # outside the lock is safe; apply_delta copies before touching it.
+        successor, succ_digest = _apply_edge_delta(source, delta)
+        faults.fire("dynamic.apply", digest=digest, child=succ_digest,
+                    adds=len(delta.adds), removes=len(delta.removes))
+        with self._lock:
+            if succ_digest not in self._graphs:
+                self._graphs[succ_digest] = successor
+            else:
+                self._graphs.move_to_end(succ_digest)
+            if name is not None:
+                self._names[succ_digest] = name
+            self._parents[succ_digest] = digest
+            self._deltas[succ_digest] = delta
+            self._mutations += 1
+            if self.max_prepared is not None:
+                for key in [key for key in self._prepared if key[0] == digest]:
+                    del self._prepared[key]
+                    self._prepared_evictions += 1
+            self._evict_graphs_locked()
+        if self._persistence is not None:
+            # Outside the lock, same policy as add(): durability is
+            # best-effort and must not serialise the store behind a slow
+            # disk.  Snapshot first, then the WAL link — a replay needs the
+            # parent snapshot (or its own chain) either way.
+            try:
+                self._persistence.save_graph(succ_digest, name, successor)
+                self._persistence.append_delta(digest, succ_digest, name, delta)
+            except Exception:
+                logger.warning("persisting delta %s -> %s failed; kept in memory only",
+                               digest[:12], succ_digest[:12], exc_info=True)
+        return succ_digest
+
+    def parent_digest(self, digest: str) -> Optional[str]:
+        """The digest this one was mutated from, or ``None`` for roots."""
+        with self._lock:
+            return self._parents.get(digest)
+
+    def delta_chain(
+        self, ancestor: str, descendant: str, max_steps: int = 64
+    ) -> Optional[list]:
+        """The delta path ``ancestor -> descendant`` as ``[(digest, delta), ...]``.
+
+        Each entry is the successor digest and the delta that produced it,
+        oldest first — exactly the replay an
+        :class:`~repro.dynamic.incremental.IncrementalSolver` positioned at
+        ``ancestor`` needs to answer ``descendant``.  Returns ``None`` when
+        no link path exists (or it exceeds ``max_steps``, past which a full
+        solve is the better deal anyway).  ``ancestor == descendant`` is the
+        empty chain.
+        """
+        with self._lock:
+            chain = []
+            current = descendant
+            for _ in range(max_steps + 1):
+                if current == ancestor:
+                    chain.reverse()
+                    return chain
+                parent = self._parents.get(current)
+                if parent is None:
+                    return None
+                chain.append((current, self._deltas[current]))
+                current = parent
+            return None
 
     # ------------------------------------------------------------------ #
     # Prepared artifacts
@@ -274,6 +449,8 @@ class GraphStore:
                 "prepared_evictions": self._prepared_evictions,
                 "restored_graphs": self._restored_graphs,
                 "restored_prepared": self._restored_prepared,
+                "mutations": self._mutations,
+                "restored_deltas": self._restored_deltas,
             }
 
     # ------------------------------------------------------------------ #
@@ -295,12 +472,16 @@ class GraphStore:
                 "graphs": OrderedDict(self._graphs),
                 "names": dict(self._names),
                 "prepared": OrderedDict(self._prepared),
+                "parents": dict(self._parents),
+                "deltas": dict(self._deltas),
                 "prepares": self._prepares,
                 "prepared_hits": self._prepared_hits,
                 "graph_evictions": self._graph_evictions,
                 "prepared_evictions": self._prepared_evictions,
                 "restored_graphs": self._restored_graphs,
                 "restored_prepared": self._restored_prepared,
+                "mutations": self._mutations,
+                "restored_deltas": self._restored_deltas,
             }
 
     def __setstate__(self, state: Dict[str, object]) -> None:
@@ -312,9 +493,13 @@ class GraphStore:
         self._names = dict(state["names"])
         self._prepared = OrderedDict(state["prepared"])
         self._inflight = {}
+        self._parents = dict(state.get("parents", {}))
+        self._deltas = dict(state.get("deltas", {}))
         self._prepares = state["prepares"]
         self._prepared_hits = state["prepared_hits"]
         self._graph_evictions = state["graph_evictions"]
         self._prepared_evictions = state["prepared_evictions"]
         self._restored_graphs = state["restored_graphs"]
         self._restored_prepared = state["restored_prepared"]
+        self._mutations = state.get("mutations", 0)
+        self._restored_deltas = state.get("restored_deltas", 0)

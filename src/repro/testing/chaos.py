@@ -49,6 +49,19 @@ Named fault points currently wired into production code:
     ``count`` (completed anchors already durable), so ``kill`` pinned to a
     ``count`` models SIGKILL mid-decomposed-solve with an exact journal
     state.
+``dynamic.apply``
+    In :meth:`~repro.service.store.GraphStore.apply_delta`, after the
+    successor graph is built but before anything observable (in-memory
+    publish, snapshot, delta WAL) happens — a crash here must leave the
+    store serving the predecessor digest with no torn state.  Context:
+    ``digest`` (parent), ``child``, ``adds``, ``removes``.
+``dynamic.resolve``
+    At the start of an incremental re-solve, both in
+    :meth:`~repro.dynamic.incremental.IncrementalSolver.apply` (context:
+    ``digest``, ``parent``, ``affected``, ``total``) and in the service's
+    delta-chain routing (context: ``digest``, ``k``, ``algorithm``,
+    ``steps``) — an error makes the service fall back to a full solve, and
+    a kill mid-re-solve exercises the carry-over checkpoint resume.
 
 Worker processes
 ----------------
